@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunTour(t *testing.T) {
+	if err := run(2048); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Command serofsck demonstrates the §5.2 recovery path: it builds a
+// device with heated evidence, simulates host-state loss and attacker
+// interference (directory wipe, bulk erase), then scans the medium to
+// recover every heated line and reports their verification status —
+// "a fsck style scan of the medium would definitely recover (albeit
+// slowly) all the heated files".
+//
+// Usage:
+//
+//	serofsck [-blocks N] [-attack none|wipe|erase]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sero"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 1024, "device size in 512-byte blocks")
+	attackMode := flag.String("attack", "wipe", "attacker action before the scan: none, wipe, erase")
+	flag.Parse()
+
+	if err := run(*blocks, *attackMode); err != nil {
+		fmt.Fprintln(os.Stderr, "serofsck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(blocks int, attackMode string) error {
+	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true})
+
+	// Populate: three heated lines of compliance records.
+	for i := 0; i < 3; i++ {
+		var lineBlocks [][]byte
+		for b := 0; b < 3; b++ {
+			blk := make([]byte, sero.BlockSize)
+			copy(blk, fmt.Sprintf("compliance record %d.%d", i, b))
+			lineBlocks = append(lineBlocks, blk)
+		}
+		start, logN, err := dev.WriteLine(lineBlocks)
+		if err != nil {
+			return err
+		}
+		if _, err := dev.Heat(start, logN); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("prepared %d heated lines\n", len(dev.Lines()))
+
+	switch attackMode {
+	case "none":
+	case "wipe":
+		fmt.Println("attacker wipes all host metadata (device registry lost)")
+		// Recover() below rebuilds from the medium alone, which is the
+		// point of the demonstration.
+	case "erase":
+		fmt.Println("attacker runs a bulk eraser over the medium")
+		dev.Store().Device().Medium().BulkErase()
+	default:
+		return fmt.Errorf("unknown attack %q", attackMode)
+	}
+
+	rep, err := dev.Recover()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scan recovered %d heated lines (%d unparseable, %d conflicts)\n",
+		len(rep.Lines), len(rep.Unparseable), len(rep.Conflicts))
+	for _, li := range rep.Lines {
+		vr, err := dev.Verify(li.Start)
+		if err != nil {
+			return err
+		}
+		status := "intact"
+		if vr.Tampered() {
+			status = "TAMPERED (evidence preserved)"
+		}
+		fmt.Printf("  line %4d (+%2d blocks, heated at t=%dns): %s\n",
+			li.Start, li.Blocks(), li.Record.HeatedAt, status)
+	}
+	fmt.Println(dev.Audit().Summary())
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunAllAttackModes(t *testing.T) {
+	for _, mode := range []string{"none", "wipe", "erase"} {
+		if err := run(256, mode); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run(256, "meteor"); err == nil {
+		t.Fatal("unknown attack mode accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Audit snapshot: the paper's motivating database scenario (§1). A
+// live database receives continuous updates on ordinary rewritable
+// storage; at audit time a snapshot is frozen with the heat operation.
+// The live data keeps its hard-disk-class performance, the snapshot
+// gets optical-WORM-class tamper evidence — on the same device.
+//
+// Run with: go run ./examples/audit_snapshot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sero"
+)
+
+func main() {
+	dev := sero.Open(sero.Options{Blocks: 8192, Quiet: true})
+	fs, err := sero.NewFS(dev, sero.FSOptions{SegmentBlocks: 64, HeatAware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The live database: four table files, updated in place.
+	tables := make([]sero.Ino, 4)
+	for t := range tables {
+		tables[t], err = fs.Create(fmt.Sprintf("table-%d", t), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	update := func(tick int) {
+		for t := range tables {
+			row := make([]byte, sero.BlockSize)
+			copy(row, fmt.Sprintf("t%d tick%d: balance=%d;", t, tick, 1000+tick*7))
+			if err := fs.Write(tables[t], uint64((tick%4)*sero.BlockSize), row); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snapshotID := 0
+	takeSnapshot := func() {
+		snapshotID++
+		for t := range tables {
+			// Copy the table's current content into a snapshot file
+			// with the snapshot affinity class, then heat it.
+			content, err := fs.ReadFile(tables[t])
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := fmt.Sprintf("snapshot-%02d-table-%d", snapshotID, t)
+			ino, err := fs.Create(name, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fs.WriteFile(ino, content); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := fs.HeatFile(name); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("snapshot %d frozen (4 tables)\n", snapshotID)
+	}
+
+	// Three business days: updates all day, snapshot every evening.
+	for day := 0; day < 3; day++ {
+		for q := 0; q < 4; q++ {
+			update(day*4 + q)
+		}
+		takeSnapshot()
+	}
+
+	// The auditor arrives: verify everything heated on the device.
+	audit := dev.Audit()
+	fmt.Print(audit.Summary())
+
+	// The live tables were never entangled with the snapshots: the
+	// heat-aware allocator keeps heated lines in their own segments
+	// (bimodality 1.0 means perfect separation, §4.1).
+	fmt.Printf("segment bimodality: %.2f\n", fs.Bimodality())
+
+	st := dev.Lifecycle()
+	fmt.Printf("device ageing: %.1f%% read-only after %d snapshots (virtual time %v)\n",
+		st.ReadOnlyRatio*100, snapshotID, st.VirtualTime)
+}

@@ -1,0 +1,93 @@
+// Evidence bag: the live-forensics scenario of §8. An investigator
+// must preserve suspect files on a running server without imaging the
+// whole disk — "a storage device that can be instructed to heat
+// evidence without having to copy it". Each bagged file is heated in
+// place; the investigator's manifest is itself heated last, sealing
+// the set.
+//
+// Run with: go run ./examples/evidence_bag
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sero"
+)
+
+func main() {
+	dev := sero.Open(sero.Options{Blocks: 4096, Quiet: true})
+	fs, err := sero.NewFS(dev, sero.FSOptions{SegmentBlocks: 64, HeatAware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The server's ordinary files, some of which will become evidence.
+	files := map[string]string{
+		"mail/outbox-07.mbox":  "From: ceo  To: cfo  Subject: delete the Q3 numbers",
+		"tmp/build.log":        "compile output, boring",
+		"docs/q3-real.xlsx":    "the real Q3 numbers",
+		"docs/q3-revised.xlsx": "the public Q3 numbers",
+		"cache/thumbnails.bin": "pixels",
+	}
+	for name, content := range files {
+		ino, err := fs.Create(name, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fs.WriteFile(ino, []byte(strings.Repeat(content+" | ", 30))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server running,", len(files), "files on disk")
+
+	// The investigation: bag the three relevant files. No copying, no
+	// downtime — each file is relocated into its own line and heated.
+	bag := []string{"mail/outbox-07.mbox", "docs/q3-real.xlsx", "docs/q3-revised.xlsx"}
+	var manifest strings.Builder
+	for _, name := range bag {
+		res, err := fs.HeatFile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(&manifest, "%s line=%d hash=%x\n", name, res.Line.Start, res.Line.Record.Hash)
+		fmt.Printf("bagged %-22s → line %4d, hash %x...\n", name, res.Line.Start, res.Line.Record.Hash[:8])
+	}
+
+	// Seal the bag: the manifest itself becomes a heated file.
+	mIno, err := fs.Create("evidence/manifest.txt", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.WriteFile(mIno, []byte(manifest.String())); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fs.HeatFile("evidence/manifest.txt"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("manifest sealed")
+
+	// The server keeps working: unrelated files stay fully writable.
+	ino, _ := fs.Lookup("tmp/build.log")
+	if err := fs.WriteFile(ino, []byte("more boring output")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server still writing to unbagged files")
+
+	// The suspect tries to clean up with rm — refused, and the
+	// attempt would be tamper-evident even with raw access.
+	if err := fs.Delete("mail/outbox-07.mbox"); err != nil {
+		fmt.Println("suspect's rm refused:", err)
+	}
+
+	// In court: everything verifies.
+	audit := dev.Audit()
+	fmt.Print(audit.Summary())
+	if audit.Clean() {
+		fmt.Println("evidence bag intact: every heated line verifies")
+	}
+}

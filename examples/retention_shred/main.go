@@ -1,0 +1,75 @@
+// Retention and shredding: §8's "Deletion" discussion. Compliance
+// records are segregated by expiry class; when a class expires, its
+// lines are physically shredded — the data becomes unrecoverable, but
+// unlike a quiet deletion, the destruction leaves permanent physical
+// evidence (heated tombstones). When every record has expired, the
+// device is ready for physical decommissioning.
+//
+// Run with: go run ./examples/retention_shred
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sero"
+	"sero/internal/retention"
+)
+
+func main() {
+	dev := sero.Open(sero.Options{Blocks: 2048, Quiet: true})
+	mgr := retention.NewManager(dev.Store(),
+		retention.Policy{Class: "email-90d", Period: 90 * 24 * time.Hour},
+		retention.Policy{Class: "financial-7y", Period: 7 * 365 * 24 * time.Hour},
+	)
+
+	// Ingest a mixed stream of records. Each is heated on arrival.
+	mk := func(s string) [][]byte {
+		b := make([]byte, sero.BlockSize)
+		copy(b, s)
+		return [][]byte{b}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := mgr.Ingest(fmt.Sprintf("mail-%d", i), "email-90d", mk("mail body")); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mgr.Ingest(fmt.Sprintf("ledger-%d", i), "financial-7y", mk("ledger row")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("ingested %d records across 2 retention classes\n", len(mgr.Records()))
+
+	// A dishonest CEO asks for an early shred. The manager refuses:
+	// destruction is gated by the policy clock, not by requests.
+	if _, err := mgr.Shred("ledger-0"); err != nil {
+		fmt.Println("early shred refused:", err)
+	}
+
+	// 91 virtual days later, the mail class expires.
+	dev.Store().Device().Clock().Advance(91 * 24 * time.Hour)
+	n, err := mgr.ShredExpired()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retention sweep shredded %d expired mail records\n", n)
+
+	// The shredded data is unrecoverable, but its destruction is
+	// evident: the tombstones fail verification loudly.
+	rep, err := mgr.Verify("mail-0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shredded record verifies clean: %v (destruction is evident)\n", rep.OK)
+
+	// Financial records are untouched.
+	rep, err = mgr.Verify("ledger-0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("financial record intact: %v\n", rep.OK)
+
+	fmt.Printf("device decommissionable now: %v\n", mgr.Decommissionable())
+	dev.Store().Device().Clock().Advance(7 * 365 * 24 * time.Hour)
+	fmt.Printf("after the 7-year class lapses: %v\n", mgr.Decommissionable())
+}

@@ -1,0 +1,65 @@
+// Venti archive: §4.2's content-addressed archival storage on SERO.
+// Daily snapshots of a slowly changing dataset share unchanged blocks
+// (content addressing deduplicates them); each snapshot's root score
+// is anchored in a heated line, so one tiny write-once operation per
+// day protects the entire hierarchy.
+//
+// Run with: go run ./examples/venti_archive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sero"
+	"sero/internal/sim"
+	"sero/internal/venti"
+)
+
+func main() {
+	dev := sero.Open(sero.Options{Blocks: 16384, Quiet: true})
+	arch := venti.New(dev.Store())
+	rng := sim.NewRNG(2026)
+
+	// The dataset: 80 blocks, of which a handful change every day.
+	data := make([]byte, 80*sero.BlockSize)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+
+	var roots []venti.Score
+	for day := 1; day <= 5; day++ {
+		// Business as usual: ~5% of blocks change.
+		for c := 0; c < 4; c++ {
+			off := rng.Intn(80) * sero.BlockSize
+			for j := 0; j < sero.BlockSize; j++ {
+				data[off+j] = byte(rng.Uint64())
+			}
+		}
+		root, err := arch.WriteStream(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := arch.Snapshot(root); err != nil {
+			log.Fatal(err)
+		}
+		roots = append(roots, root)
+		st := arch.Stats()
+		fmt.Printf("day %d: root %v anchored; %d blocks stored, %d deduplicated so far\n",
+			day, root, st.BlocksWritten, st.BlocksDeduped)
+	}
+
+	// Every historical snapshot remains verifiable end to end: the
+	// heated anchor, the root score, and every node under it.
+	for i, root := range roots {
+		rep, err := arch.VerifySnapshot(root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot day %d: tampered=%v\n", i+1, rep.Tampered())
+	}
+
+	st := dev.Lifecycle()
+	fmt.Printf("read-only fraction after 5 snapshots: %.2f%% — anchors are tiny\n",
+		st.ReadOnlyRatio*100)
+}

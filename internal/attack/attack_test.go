@@ -1,0 +1,160 @@
+package attack
+
+import (
+	"testing"
+
+	"sero/internal/device"
+	"sero/internal/lfs"
+	"sero/internal/medium"
+)
+
+func testHarness(t testing.TB) *Harness {
+	t.Helper()
+	dp := device.DefaultParams(2048)
+	mp := medium.DefaultParams(2048, device.DotsPerBlock)
+	mp.ReadNoiseSigma = 0
+	mp.ResidualInPlaneSignal = 0
+	mp.ThermalCrosstalk = 0
+	dp.Medium = mp
+	fs, err := lfs.New(device.New(dp), lfs.Params{
+		SegmentBlocks: 32, CheckpointBlocks: 32, HeatAware: true, ReserveSegments: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(fs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAttackMatrixComplete(t *testing.T) {
+	// The headline claim of the paper: every §5 attack is either
+	// prevented or detected. One shared harness runs them in sequence
+	// exactly as RunAll orders them.
+	h := testHarness(t)
+	results := h.RunAll()
+	if len(results) != 11 {
+		t.Fatalf("%d attacks, want 11", len(results))
+	}
+	for _, r := range results {
+		if !r.Prevented && !r.Detected {
+			t.Errorf("attack %q neither prevented nor detected: %s", r.Name, r.Notes)
+		}
+	}
+}
+
+func TestAttackFSOverwritePrevented(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackFSOverwrite()
+	if !r.Prevented {
+		t.Fatalf("fs overwrite not prevented: %+v", r)
+	}
+}
+
+func TestAttackMWBHashHarmless(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackMWBHash()
+	if !r.Prevented || r.Detected {
+		t.Fatalf("mwb-hash should be harmless: %+v", r)
+	}
+	// And the file must still verify clean afterwards.
+	reps, err := h.fs.VerifyFile(h.Victim())
+	if err != nil || !reps[0].OK {
+		t.Fatalf("victim damaged by harmless attack: %v", err)
+	}
+}
+
+func TestAttackMWBDataDetected(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackMWBData()
+	if !r.Detected {
+		t.Fatalf("mwb-data not detected: %+v", r)
+	}
+}
+
+func TestAttackEWBHashDetected(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackEWBHash()
+	if !r.Detected {
+		t.Fatalf("ewb-hash not detected: %+v", r)
+	}
+}
+
+func TestAttackEWBDataDetected(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackEWBData()
+	if !r.Detected {
+		t.Fatalf("ewb-data not detected: %+v", r)
+	}
+}
+
+func TestAttackSplitPrevented(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackSplitFile()
+	if !r.Prevented && !r.Detected {
+		t.Fatalf("split attack succeeded: %+v", r)
+	}
+}
+
+func TestAttackRmPrevented(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackRm()
+	if !r.Prevented {
+		t.Fatalf("rm not prevented: %+v", r)
+	}
+	// File still present and verifiable.
+	if _, err := h.fs.Lookup(h.Victim()); err != nil {
+		t.Fatal("victim vanished")
+	}
+}
+
+func TestAttackCopyMaskPrevented(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackCopyMask()
+	if !r.Prevented {
+		t.Fatalf("copy-mask not prevented: %+v", r)
+	}
+	// Original untouched.
+	reps, err := h.fs.VerifyFile(h.Victim())
+	if err != nil || !reps[0].OK {
+		t.Fatalf("original damaged by copy: %v", err)
+	}
+}
+
+func TestAttackBulkEraseDetected(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackBulkErase()
+	if !r.Detected {
+		t.Fatalf("bulk erase not detected: %+v", r)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if (Result{Prevented: true}).Outcome() != "prevented" {
+		t.Fatal("prevented")
+	}
+	if (Result{Detected: true}).Outcome() != "detected" {
+		t.Fatal("detected")
+	}
+	if (Result{}).Outcome() != "UNDETECTED" {
+		t.Fatal("undetected")
+	}
+}
+
+func TestAttackCoalesceDetected(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackCoalesce()
+	if !r.Detected && !r.Prevented {
+		t.Fatalf("coalesce attack succeeded: %+v", r)
+	}
+}
+
+func TestAttackClearDirectoryRecovered(t *testing.T) {
+	h := testHarness(t)
+	r := h.AttackClearDirectory()
+	if !r.Prevented && !r.Detected {
+		t.Fatalf("directory clear succeeded: %+v", r)
+	}
+}

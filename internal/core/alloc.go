@@ -1,0 +1,147 @@
+// Package core implements the SERO store, the paper's primary
+// contribution: management of a device that "begins life as a Write
+// Many Read Many device, selected parts of which are subjected to
+// Write Once operations, and which ends life as a Read-only device"
+// (§1).
+//
+// The store owns block allocation (lines must be 2^N-aligned, so the
+// allocator is buddy-style), orchestrates heat and verify operations,
+// aggregates tamper reports, and tracks the WMRM→RO lifecycle the
+// paper discusses in §8.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Allocator hands out 2^N-aligned runs of blocks. It is a simple
+// bitmap-with-alignment allocator: line sizes are small powers of two
+// and allocation happens on the write path where the device dominates
+// the cost, so asymptotic cleverness buys nothing here.
+type Allocator struct {
+	used  []bool
+	total int
+	free  int
+}
+
+// ErrNoSpace reports that no aligned run of the requested size is
+// free.
+var ErrNoSpace = errors.New("core: no aligned free extent")
+
+// NewAllocator covers blocks [0, total).
+func NewAllocator(total int) *Allocator {
+	if total <= 0 {
+		panic(fmt.Sprintf("core: non-positive allocator size %d", total))
+	}
+	return &Allocator{used: make([]bool, total), total: total, free: total}
+}
+
+// Free returns the number of unallocated blocks.
+func (a *Allocator) Free() int { return a.free }
+
+// Total returns the managed block count.
+func (a *Allocator) Total() int { return a.total }
+
+// AllocAligned reserves a run of n blocks aligned to align (both
+// powers of two not enforced here; align must divide the start). It
+// scans aligned candidates first-fit.
+func (a *Allocator) AllocAligned(n, align int) (start uint64, err error) {
+	if n <= 0 || align <= 0 {
+		panic(fmt.Sprintf("core: bad alloc n=%d align=%d", n, align))
+	}
+	for s := 0; s+n <= a.total; s += align {
+		ok := true
+		for i := s; i < s+n; i++ {
+			if a.used[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for i := s; i < s+n; i++ {
+				a.used[i] = true
+			}
+			a.free -= n
+			return uint64(s), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %d blocks aligned %d", ErrNoSpace, n, align)
+}
+
+// Reserve marks a specific run used (e.g. recovered lines after Scan).
+// Reserving an already-used block is an error.
+func (a *Allocator) Reserve(start uint64, n int) error {
+	if int(start)+n > a.total {
+		return fmt.Errorf("core: reserve [%d,%d) beyond %d", start, int(start)+n, a.total)
+	}
+	for i := int(start); i < int(start)+n; i++ {
+		if a.used[i] {
+			return fmt.Errorf("core: block %d already reserved", i)
+		}
+	}
+	for i := int(start); i < int(start)+n; i++ {
+		a.used[i] = true
+	}
+	a.free -= n
+	return nil
+}
+
+// Release returns a run to the free pool (only for never-heated
+// blocks; the store enforces that).
+func (a *Allocator) Release(start uint64, n int) {
+	for i := int(start); i < int(start)+n; i++ {
+		if i >= a.total || !a.used[i] {
+			panic(fmt.Sprintf("core: releasing unallocated block %d", i))
+		}
+		a.used[i] = false
+	}
+	a.free += n
+}
+
+// FreeExtents returns the free runs, for fragmentation diagnostics
+// (§4.1: "the WMRM area not only shrinks but it might also become
+// fragmented").
+func (a *Allocator) FreeExtents() []Extent {
+	var out []Extent
+	i := 0
+	for i < a.total {
+		if a.used[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < a.total && !a.used[j] {
+			j++
+		}
+		out = append(out, Extent{Start: uint64(i), Blocks: j - i})
+		i = j
+	}
+	return out
+}
+
+// Extent is a contiguous run of blocks.
+type Extent struct {
+	Start  uint64
+	Blocks int
+}
+
+// LargestFree returns the size of the largest free extent.
+func (a *Allocator) LargestFree() int {
+	best := 0
+	for _, e := range a.FreeExtents() {
+		if e.Blocks > best {
+			best = e.Blocks
+		}
+	}
+	return best
+}
+
+// FragmentationIndex returns 1 − largestFree/totalFree: 0 means one
+// contiguous free region, approaching 1 means heavy fragmentation.
+func (a *Allocator) FragmentationIndex() float64 {
+	if a.free == 0 {
+		return 0
+	}
+	return 1 - float64(a.LargestFree())/float64(a.free)
+}

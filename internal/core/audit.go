@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sero/internal/device"
+)
+
+// AuditReport is the outcome of verifying every heated line on the
+// store — the operation a compliance auditor runs (§1's SOX/retention
+// motivation).
+type AuditReport struct {
+	// Reports holds one verify report per heated line, ordered by
+	// start PBA.
+	Reports []device.VerifyReport
+	// TamperedLines counts lines with any evidence of tampering.
+	TamperedLines int
+	// Errors holds lines whose verification could not run at all.
+	Errors []error
+}
+
+// Clean reports whether the audit found no tampering and no errors.
+func (a AuditReport) Clean() bool {
+	return a.TamperedLines == 0 && len(a.Errors) == 0
+}
+
+// Summary renders a one-line-per-line human-readable audit summary.
+func (a AuditReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d lines, %d tampered, %d errors\n",
+		len(a.Reports), a.TamperedLines, len(a.Errors))
+	for _, r := range a.Reports {
+		status := "ok"
+		if r.Tampered() {
+			var why []string
+			if r.RecordDamaged {
+				why = append(why, fmt.Sprintf("record damaged (%d HH cells)", r.TamperedCells))
+			}
+			if r.HashMismatch {
+				why = append(why, "hash mismatch")
+			}
+			if len(r.ReadErrors) > 0 {
+				why = append(why, fmt.Sprintf("%d unreadable blocks", len(r.ReadErrors)))
+			}
+			status = "TAMPERED: " + strings.Join(why, ", ")
+		}
+		fmt.Fprintf(&b, "  line %6d (+%d blocks): %s\n", r.Line.Start, r.Line.Blocks(), status)
+	}
+	return b.String()
+}
+
+// Audit verifies every heated line known to the store.
+func (s *Store) Audit() AuditReport {
+	var rep AuditReport
+	for _, li := range s.Lines() {
+		vr, err := s.dev.VerifyLine(li.Start)
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Errorf("line %d: %w", li.Start, err))
+			rep.TamperedLines++ // unverifiable counts as suspect
+			continue
+		}
+		rep.Reports = append(rep.Reports, vr)
+		if vr.Tampered() {
+			rep.TamperedLines++
+		}
+	}
+	return rep
+}

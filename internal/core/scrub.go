@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sero/internal/sim"
+)
+
+// Scrubber periodically audits every heated line in the background —
+// the operational pattern that turns tamper *evidence* into tamper
+// *detection latency*. The scrubber runs on the device's own virtual
+// clock: each audit consumes real (virtual) device time, so scrubbing
+// more often costs bandwidth the foreground load would otherwise get.
+// Experiment E13 sweeps that trade-off.
+type Scrubber struct {
+	st    *Store
+	sched *sim.Scheduler
+
+	// Interval is the virtual time between audit passes.
+	Interval time.Duration
+
+	// OnTamper is invoked (once) when an audit first finds tampering;
+	// the scrubber keeps running afterwards unless StopOnDetect is
+	// set.
+	OnTamper func(AuditReport)
+	// StopOnDetect stops scheduling after the first detection.
+	StopOnDetect bool
+
+	stats   ScrubStats
+	stopped bool
+}
+
+// ScrubStats summarises scrubber activity.
+type ScrubStats struct {
+	// Audits counts completed passes.
+	Audits int
+	// AuditTime is total virtual time spent auditing.
+	AuditTime time.Duration
+	// Detections counts passes that found tampering.
+	Detections int
+	// FirstDetection is the virtual time of the first tampered audit
+	// (zero when none).
+	FirstDetection time.Duration
+}
+
+// NewScrubber builds a scrubber for st driven by sched, which must run
+// on the device's clock so audit cost and schedule share one timeline.
+func NewScrubber(st *Store, sched *sim.Scheduler, interval time.Duration) *Scrubber {
+	if interval <= 0 {
+		panic(fmt.Sprintf("core: non-positive scrub interval %v", interval))
+	}
+	return &Scrubber{st: st, sched: sched, Interval: interval}
+}
+
+// Stats returns a copy of the scrubber statistics.
+func (s *Scrubber) Stats() ScrubStats { return s.stats }
+
+// Start schedules the first pass one interval from now.
+func (s *Scrubber) Start() {
+	s.sched.After(s.Interval, s.pass)
+}
+
+// Stop prevents further passes from being scheduled.
+func (s *Scrubber) Stop() { s.stopped = true }
+
+func (s *Scrubber) pass() {
+	if s.stopped {
+		return
+	}
+	clock := s.st.Device().Clock()
+	t0 := clock.Now()
+	rep := s.st.Audit()
+	s.stats.Audits++
+	s.stats.AuditTime += clock.Now() - t0
+	if !rep.Clean() {
+		s.stats.Detections++
+		if s.stats.FirstDetection == 0 {
+			s.stats.FirstDetection = clock.Now()
+			if s.OnTamper != nil {
+				s.OnTamper(rep)
+			}
+		}
+		if s.StopOnDetect {
+			s.stopped = true
+			return
+		}
+	}
+	s.sched.After(s.Interval, s.pass)
+}

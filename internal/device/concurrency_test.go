@@ -1,0 +1,124 @@
+package device
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// The device serialises operations internally (one mechanical sled);
+// these tests drive it from many goroutines to prove the locking holds
+// up under the race detector.
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	d := testDevice(t, 64)
+	for pba := uint64(0); pba < 64; pba++ {
+		if err := d.MWS(pba, pattern(byte(pba))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				pba := uint64((g*20 + i) % 32)
+				got, err := d.MRS(pba)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, pattern(byte(pba))) {
+					errs <- ErrChecksum
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				pba := uint64(32 + (g*10+i)%32)
+				if err := d.MWS(pba, pattern(byte(pba))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentHeatAndVerify(t *testing.T) {
+	d := testDevice(t, 64)
+	for pba := uint64(0); pba < 64; pba++ {
+		if err := d.MWS(pba, pattern(byte(pba))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start := uint64(g * 16)
+			if _, err := d.HeatLine(start, 4); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 3; i++ {
+				rep, err := d.VerifyLine(start)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !rep.OK {
+					errs <- ErrHeatVerify
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(d.Lines()) != 4 {
+		t.Fatalf("lines %d", len(d.Lines()))
+	}
+}
+
+func TestConcurrentStatsAccess(t *testing.T) {
+	d := testDevice(t, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = d.Stats()
+				_ = d.HeatedBlocks()
+				_ = d.IsHeatedCached(3)
+				_ = d.IsBad(3)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = d.MWS(uint64(i%16), pattern(byte(i)))
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,531 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sero/internal/medium"
+	"sero/internal/probe"
+	"sero/internal/sim"
+)
+
+// Coding selects the write-once cell coding used for electrically
+// written records (§8 "Efficiency").
+type Coding int
+
+// Available codings.
+const (
+	// CodingManchester stores 1 bit in 2 dots; the invalid HH state
+	// makes tampering locally evident (the paper's default).
+	CodingManchester Coding = iota
+	// CodingWOM stores 2 bits in 3 dots (Rivest-Shamir write-once
+	// code [33]): 25 % fewer heated dots and a one-time rewrite
+	// capability, but every dot pattern is a valid codeword, so
+	// tamper detection falls back to the record parse and the line
+	// hash — the §8 trade-off, measurable in experiment E5.
+	CodingWOM
+)
+
+// String names the coding.
+func (c Coding) String() string {
+	switch c {
+	case CodingManchester:
+		return "manchester"
+	case CodingWOM:
+		return "wom"
+	default:
+		return fmt.Sprintf("Coding(%d)", int(c))
+	}
+}
+
+// Params configures a Device.
+type Params struct {
+	// Blocks is the number of 512-byte blocks the device exposes.
+	Blocks int
+
+	// Coding selects the electrical-record cell coding.
+	Coding Coding
+
+	// ErbRetries is how many times the electrical read protocol is
+	// repeated per dot; a dot is declared heated as soon as one attempt
+	// fails verification. More retries drive the probability of
+	// missing a heated dot toward zero (experiment E7).
+	ErbRetries int
+
+	// Medium overrides the medium parameters; zero value means
+	// derived defaults.
+	Medium medium.Params
+
+	// Timing overrides the probe latency model; zero value means
+	// probe.DefaultTiming.
+	Timing probe.Timing
+
+	// Geometry overrides the probe-array geometry; zero value means
+	// probe.DefaultGeometry.
+	Geometry probe.Geometry
+}
+
+// DefaultParams returns a device of the given size with the standard
+// medium, timing and geometry models.
+func DefaultParams(blocks int) Params {
+	return Params{Blocks: blocks, ErbRetries: 8}
+}
+
+// Device is a simulated SERO probe-storage device. It is safe for
+// concurrent use; operations are serialised internally, matching the
+// single mechanical sled of the hardware.
+type Device struct {
+	mu sync.Mutex
+
+	p     Params
+	med   *medium.Medium
+	arr   *probe.Array
+	clock *sim.Clock
+
+	// heated caches which blocks have been electrically written, so
+	// the device can enforce the read protocol ("magnetically written
+	// data must only be read magnetically and electrically written
+	// data must only be read electrically", §3) without a scan. It is
+	// a cache, not ground truth: Scan rebuilds it from the medium.
+	heated map[uint64]bool
+
+	// bad records blocks declared unusable after failed reads that
+	// were *not* electrically written.
+	bad map[uint64]bool
+
+	// lines is the registry of heated lines, keyed by start PBA.
+	lines map[uint64]LineInfo
+
+	stats OpStats
+}
+
+// OpStats counts sector-level operations and their virtual-time cost.
+type OpStats struct {
+	MagneticReads   uint64
+	MagneticWrites  uint64
+	ElectricReads   uint64
+	ElectricWrites  uint64
+	HeatLines       uint64
+	VerifyLines     uint64
+	CorrectedBytes  uint64
+	MagneticReadNS  time.Duration
+	MagneticWriteNS time.Duration
+	ElectricReadNS  time.Duration
+	ElectricWriteNS time.Duration
+}
+
+// Errors returned by Device operations.
+var (
+	// ErrOutOfRange reports a PBA beyond the device.
+	ErrOutOfRange = errors.New("device: block address out of range")
+	// ErrHeatedBlock reports a magnetic write or read aimed at an
+	// electrically written block.
+	ErrHeatedBlock = errors.New("device: block is electrically written (heated)")
+	// ErrBadBlock reports an access to a block marked bad.
+	ErrBadBlock = errors.New("device: block marked bad")
+	// ErrNotHeated reports an electrical read of a block that holds no
+	// electrical data.
+	ErrNotHeated = errors.New("device: block is not electrically written")
+)
+
+// New builds a device. Medium geometry is derived from the block count
+// unless overridden: one row of dots per block keeps the mapping
+// simple and the seek model meaningful.
+func New(p Params) *Device {
+	if p.Blocks <= 0 {
+		panic(fmt.Sprintf("device: non-positive block count %d", p.Blocks))
+	}
+	if p.ErbRetries <= 0 {
+		p.ErbRetries = 8
+	}
+	mp := p.Medium
+	if mp.Rows == 0 {
+		mp = medium.DefaultParams(p.Blocks, DotsPerBlock)
+	}
+	if mp.Rows*mp.Cols < p.Blocks*DotsPerBlock {
+		panic(fmt.Sprintf("device: medium %dx%d too small for %d blocks",
+			mp.Rows, mp.Cols, p.Blocks))
+	}
+	t := p.Timing
+	if t.BitCell == 0 {
+		t = probe.DefaultTiming()
+	}
+	g := p.Geometry
+	if g.ProbeRows == 0 {
+		g = probe.DefaultGeometry()
+	}
+	clock := &sim.Clock{}
+	d := &Device{
+		p:      p,
+		med:    medium.New(mp),
+		clock:  clock,
+		heated: make(map[uint64]bool),
+		bad:    make(map[uint64]bool),
+		lines:  make(map[uint64]LineInfo),
+	}
+	// The probe array's addressable capacity may be smaller than the
+	// medium in scaled-down test configurations; the array is used for
+	// latency accounting over a wrapped index space.
+	d.arr = probe.NewArray(t, g, mp.PitchNM, clock)
+	return d
+}
+
+// Blocks returns the number of blocks.
+func (d *Device) Blocks() int { return d.p.Blocks }
+
+// Clock returns the device's virtual clock.
+func (d *Device) Clock() *sim.Clock { return d.clock }
+
+// Medium exposes the underlying medium for fault injection, forensics
+// oracles and attack simulations. Production code above the device
+// layer must not touch it.
+func (d *Device) Medium() *medium.Medium { return d.med }
+
+// Stats returns a copy of the operation counters.
+func (d *Device) Stats() OpStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = OpStats{}
+}
+
+// dotBase returns the first dot index of block pba.
+func (d *Device) dotBase(pba uint64) int { return int(pba) * DotsPerBlock }
+
+// chargeDots maps a block's dot range into the probe array's index
+// space for latency accounting.
+func (d *Device) chargeIndex(first int) int {
+	cap := d.arr.Capacity()
+	return first % cap
+}
+
+func (d *Device) checkPBA(pba uint64) error {
+	if pba >= uint64(d.p.Blocks) {
+		return fmt.Errorf("%w: %d >= %d", ErrOutOfRange, pba, d.p.Blocks)
+	}
+	return nil
+}
+
+// MWS magnetically writes 512 bytes of data to block pba (the paper's
+// mws). Writing to a heated or bad block fails.
+func (d *Device) MWS(pba uint64, data []byte) error {
+	if len(data) != DataBytes {
+		return fmt.Errorf("device: MWS payload %d bytes, want %d", len(data), DataBytes)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkPBA(pba); err != nil {
+		return err
+	}
+	if d.heated[pba] {
+		return fmt.Errorf("%w: %d", ErrHeatedBlock, pba)
+	}
+	if d.bad[pba] {
+		return fmt.Errorf("%w: %d", ErrBadBlock, pba)
+	}
+	if d.lineOverlaps(pba, 1) {
+		// Honest firmware refuses to overwrite members of a heated
+		// line: the data is read-only after the heat operation. An
+		// attacker bypasses this via raw medium access — and is then
+		// caught by VerifyLine.
+		return fmt.Errorf("%w: %d is inside a heated line", ErrHeatedBlock, pba)
+	}
+	f := Frame{PBA: pba, Flags: FlagData}
+	copy(f.Data[:], data)
+	img := f.Marshal()
+	bits := bytesToBits(img)
+	base := d.dotBase(pba)
+	sw := sim.NewStopwatch(d.clock)
+	d.arr.ChargeMagneticWrite(d.chargeIndex(base), len(bits))
+	for i, b := range bits {
+		d.med.MWB(base+i, b)
+	}
+	d.stats.MagneticWrites++
+	d.stats.MagneticWriteNS += sw.Elapsed()
+	return nil
+}
+
+// MRS magnetically reads block pba (the paper's mrs), returning the
+// 512-byte payload. It refuses to magnetically read a block known to be
+// electrically written (protocol rule of §3); reading an unknown heated
+// block surfaces as ErrUncorrectable, after which the caller should
+// probe with ERS.
+func (d *Device) MRS(pba uint64) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mrsLocked(pba)
+}
+
+func (d *Device) mrsLocked(pba uint64) ([]byte, error) {
+	if err := d.checkPBA(pba); err != nil {
+		return nil, err
+	}
+	if d.heated[pba] {
+		return nil, fmt.Errorf("%w: %d", ErrHeatedBlock, pba)
+	}
+	if d.bad[pba] {
+		return nil, fmt.Errorf("%w: %d", ErrBadBlock, pba)
+	}
+	base := d.dotBase(pba)
+	sw := sim.NewStopwatch(d.clock)
+	d.arr.ChargeMagneticRead(d.chargeIndex(base), DotsPerBlock)
+	bits := make([]bool, DotsPerBlock)
+	for i := range bits {
+		bits[i] = d.med.MRB(base + i)
+	}
+	d.stats.MagneticReads++
+	d.stats.MagneticReadNS += sw.Elapsed()
+	img := bitsToBytes(bits)
+	f, corrected, err := UnmarshalFrame(img, pba)
+	d.stats.CorrectedBytes += uint64(corrected)
+	if err != nil {
+		return nil, err
+	}
+	return f.Data[:], nil
+}
+
+// EWS electrically writes payload into block pba's data region using
+// the device's cell coding (the paper's ews). Manchester doubles the
+// footprint, so up to 256 bytes fit the 4096-dot data region (341 with
+// the WOM coding). Heating is irreversible; the block becomes
+// read-only-electrical afterwards.
+func (d *Device) EWS(pba uint64, payload []byte) error {
+	if len(payload) == 0 || d.codingDots(len(payload)) > DataRegionDots {
+		return fmt.Errorf("device: EWS payload %d bytes does not fit %d dots",
+			len(payload), DataRegionDots)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ewsLocked(pba, payload)
+}
+
+// codingDots returns the dot footprint of n payload bytes under the
+// device's coding.
+func (d *Device) codingDots(n int) int {
+	if d.p.Coding == CodingWOM {
+		return womDots(n)
+	}
+	return manchesterDots(n)
+}
+
+func (d *Device) ewsLocked(pba uint64, payload []byte) error {
+	if err := d.checkPBA(pba); err != nil {
+		return err
+	}
+	if d.bad[pba] {
+		return fmt.Errorf("%w: %d", ErrBadBlock, pba)
+	}
+	var flags []bool
+	if d.p.Coding == CodingWOM {
+		flags = womEncode(payload)
+	} else {
+		flags = manchesterEncode(payload)
+	}
+	base := d.dotBase(pba) + headerDotOffset()
+	sw := sim.NewStopwatch(d.clock)
+	heatCount := 0
+	for i, f := range flags {
+		if f {
+			d.med.EWB(base + i)
+			heatCount++
+		}
+	}
+	d.arr.ChargeElectricWrite(d.chargeIndex(base), heatCount)
+	d.heated[pba] = true
+	d.stats.ElectricWrites++
+	d.stats.ElectricWriteNS += sw.Elapsed()
+	return nil
+}
+
+// ERS electrically reads block pba's data region (the paper's ers): the
+// erb protocol runs over the first dots covering payloadLen bytes of
+// Manchester data. The returned report carries the decoded payload and
+// any tampered (HH) or unused (UU) cells.
+func (d *Device) ERS(pba uint64, payloadLen int) (ERSReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ersLocked(pba, payloadLen)
+}
+
+func (d *Device) ersLocked(pba uint64, payloadLen int) (ERSReport, error) {
+	if err := d.checkPBA(pba); err != nil {
+		return ERSReport{}, err
+	}
+	if payloadLen <= 0 || d.codingDots(payloadLen) > DataRegionDots {
+		return ERSReport{}, fmt.Errorf("device: ERS length %d invalid", payloadLen)
+	}
+	base := d.dotBase(pba) + headerDotOffset()
+	n := d.codingDots(payloadLen)
+	sw := sim.NewStopwatch(d.clock)
+	d.arr.ChargeElectricRead(d.chargeIndex(base), n*d.p.ErbRetries)
+	flags := make([]bool, n)
+	for i := range flags {
+		flags[i] = d.erbDot(base + i)
+	}
+	d.stats.ElectricReads++
+	d.stats.ElectricReadNS += sw.Elapsed()
+	if d.p.Coding == CodingWOM {
+		return decodeERSWOM(flags)
+	}
+	return decodeERS(flags)
+}
+
+// erbDot runs the 5-step erb protocol with retries: the dot is declared
+// heated as soon as any attempt fails verification. A healthy dot with
+// reasonable SNR essentially never fails, so false positives are
+// negligible; retries only reduce false negatives.
+func (d *Device) erbDot(i int) bool {
+	for r := 0; r < d.p.ErbRetries; r++ {
+		if d.med.ERB(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// lowAmplitude reports whether dot i reads at well under the nominal
+// signal amplitude (averaged over a few samples) — the signature of a
+// destroyed multilayer as opposed to a pinned defect.
+func (d *Device) lowAmplitude(i int) bool {
+	const samples = 3
+	var sum float64
+	for s := 0; s < samples; s++ {
+		v := d.med.MRBAnalog(i)
+		if v < 0 {
+			v = -v
+		}
+		sum += v
+	}
+	return sum/samples < 0.5*d.med.Params().SignalAmplitude
+}
+
+// IsHeatedCached reports whether the device believes block pba is
+// electrically written, from its cache (no medium access).
+func (d *Device) IsHeatedCached(pba uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.heated[pba]
+}
+
+// ProbeHeated checks the medium (not the cache) for electrical data in
+// block pba by sampling the first Manchester cells of its data region.
+// Used by bad-block discrimination and by Scan. A block is considered
+// electrically written only when at least one sampled cell contains
+// exactly one heated dot — a structurally valid Manchester data cell.
+// A block whose every sampled cell reads HH carries no decodable
+// Manchester structure: it is either physically dead or shredded, and
+// either way is safe to mark bad (marking never destroys the HH
+// evidence on the medium). This is the paper's §3 discrimination
+// problem: "a heated block should not be misinterpreted as a bad
+// block".
+func (d *Device) ProbeHeated(pba uint64, sampleCells int) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.probeHeatedLocked(pba, sampleCells)
+}
+
+func (d *Device) probeHeatedLocked(pba uint64, sampleCells int) (bool, error) {
+	if err := d.checkPBA(pba); err != nil {
+		return false, err
+	}
+	if sampleCells <= 0 {
+		sampleCells = 16
+	}
+	if sampleCells < 32 {
+		sampleCells = 32
+	}
+	// Samples are spread across the heat-record area rather than taken
+	// from its front: a localised HH-burn attack on the first cells
+	// must not hide the block's electrical nature from the scan.
+	recordCells := HeatRecordBytes * 8
+	if sampleCells > recordCells {
+		sampleCells = recordCells
+	}
+	stride := recordCells / sampleCells
+	base := d.dotBase(pba) + headerDotOffset()
+	sw := sim.NewStopwatch(d.clock)
+	d.arr.ChargeElectricRead(d.chargeIndex(base), sampleCells*2*d.p.ErbRetries)
+
+	// A dot counts as genuinely heated only when the erb protocol
+	// fails AND its analog amplitude is low: a defective (pinned) dot
+	// also fails the inversion check, but at full read amplitude —
+	// that distinction is what keeps bad blocks from masquerading as
+	// electrical data. (A fully dead dot remains ambiguous; the
+	// minimum-valid-cells threshold below covers it, since isolated
+	// defects cannot fake the dense cell structure of a real record.)
+	heatedDot := func(i int) bool {
+		if !d.erbDot(i) {
+			return false
+		}
+		return d.lowAmplitude(i)
+	}
+	valid := 0
+	for i := 0; i < sampleCells; i++ {
+		c := i * stride
+		a := heatedDot(base + 2*c)
+		b := heatedDot(base + 2*c + 1)
+		if a != b { // exactly one heated: valid Manchester data cell
+			valid++
+		}
+	}
+	// Require a minimum density of valid write-once cells; scattered
+	// media defects produce at most a couple.
+	found := valid >= 4
+	d.stats.ElectricReads++
+	d.stats.ElectricReadNS += sw.Elapsed()
+	return found, nil
+}
+
+// MarkBad declares block pba bad after the caller has established (via
+// ProbeHeated) that it is not electrically written. Marking a heated
+// block bad is refused: that is exactly the misinterpretation §3 warns
+// against.
+func (d *Device) MarkBad(pba uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkPBA(pba); err != nil {
+		return err
+	}
+	if d.heated[pba] {
+		return fmt.Errorf("%w: refusing to mark heated block %d bad", ErrHeatedBlock, pba)
+	}
+	ok, err := d.probeHeatedLocked(pba, 16)
+	if err != nil {
+		return err
+	}
+	if ok {
+		d.heated[pba] = true
+		return fmt.Errorf("%w: block %d is electrically written", ErrHeatedBlock, pba)
+	}
+	d.bad[pba] = true
+	return nil
+}
+
+// IsBad reports whether block pba is marked bad.
+func (d *Device) IsBad(pba uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bad[pba]
+}
+
+// HeatedBlocks returns the sorted list of blocks the device knows to be
+// electrically written.
+func (d *Device) HeatedBlocks() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]uint64, 0, len(d.heated))
+	for pba := range d.heated {
+		out = append(out, pba)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,413 @@
+package device
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sero/internal/manchester"
+)
+
+// Line operations (§3 "Heat a line" / "Verify a heated line").
+//
+// A line is a sequence of 2^N contiguous blocks aligned on a 2^N
+// boundary. Heating a line reads blocks 1..2^N−1 magnetically,
+// computes a secure hash of the blocks *and their physical addresses*,
+// and writes the hash (plus metadata) Manchester-encoded into block 0
+// with the electrical write-once operation. Block 0's physical address
+// is therefore known a priori — the defence against the splitting and
+// coalescing attacks of §5.1.
+
+// HeatRecord is the electrically written content of a line's block 0:
+// Fig 3's "hash+meta". The fixed 64-byte wire format occupies 1024 of
+// the block's 4096 data-region dots when Manchester encoded, leaving
+// the paper's "3584 bits of space for meta data, signatures, etc."
+// (we consume 512 of those for our metadata).
+type HeatRecord struct {
+	// LogN is the line size exponent: the line covers 1<<LogN blocks.
+	LogN uint8
+	// Start is the PBA of block 0 of the line.
+	Start uint64
+	// HeatedAt is the virtual time of the heat operation, in
+	// nanoseconds.
+	HeatedAt uint64
+	// Hash is the SHA-256 over (PBA‖data) of blocks 1..2^N−1.
+	Hash [sha256.Size]byte
+}
+
+// HeatRecordBytes is the wire size of a heat record.
+const HeatRecordBytes = 64
+
+var heatMagic = [4]byte{'S', 'E', 'R', 'O'}
+
+const heatVersion = 1
+
+// Marshal encodes the record into its fixed 64-byte wire format.
+func (r *HeatRecord) Marshal() []byte {
+	buf := make([]byte, HeatRecordBytes)
+	copy(buf[0:4], heatMagic[:])
+	buf[4] = heatVersion
+	buf[5] = r.LogN
+	// buf[6:8] reserved
+	binary.BigEndian.PutUint64(buf[8:16], r.Start)
+	binary.BigEndian.PutUint64(buf[16:24], r.HeatedAt)
+	copy(buf[24:56], r.Hash[:])
+	// buf[56:64] reserved for signatures etc.
+	return buf
+}
+
+// ErrBadRecord reports a heat record that does not parse.
+var ErrBadRecord = errors.New("device: malformed heat record")
+
+// UnmarshalHeatRecord parses a 64-byte wire record.
+func UnmarshalHeatRecord(buf []byte) (HeatRecord, error) {
+	if len(buf) != HeatRecordBytes {
+		return HeatRecord{}, fmt.Errorf("%w: %d bytes", ErrBadRecord, len(buf))
+	}
+	if !bytes.Equal(buf[0:4], heatMagic[:]) {
+		return HeatRecord{}, fmt.Errorf("%w: bad magic", ErrBadRecord)
+	}
+	if buf[4] != heatVersion {
+		return HeatRecord{}, fmt.Errorf("%w: version %d", ErrBadRecord, buf[4])
+	}
+	var r HeatRecord
+	r.LogN = buf[5]
+	r.Start = binary.BigEndian.Uint64(buf[8:16])
+	r.HeatedAt = binary.BigEndian.Uint64(buf[16:24])
+	copy(r.Hash[:], buf[24:56])
+	return r, nil
+}
+
+// LineInfo describes a heated line known to the device.
+type LineInfo struct {
+	Start  uint64
+	LogN   uint8
+	Record HeatRecord
+}
+
+// Blocks returns the number of blocks in the line.
+func (l LineInfo) Blocks() uint64 { return 1 << l.LogN }
+
+// End returns the first PBA after the line.
+func (l LineInfo) End() uint64 { return l.Start + l.Blocks() }
+
+// Line-operation errors.
+var (
+	// ErrBadLine reports a misaligned or mis-sized line argument.
+	ErrBadLine = errors.New("device: line not a 2^N-aligned 2^N-block range")
+	// ErrLineOverlap reports a heat request overlapping an existing
+	// heated line.
+	ErrLineOverlap = errors.New("device: line overlaps an already-heated line")
+	// ErrHeatVerify reports that the post-heat read-back check failed
+	// (the paper's step 4 "or else fail").
+	ErrHeatVerify = errors.New("device: heated hash read-back verification failed")
+)
+
+// lineHash computes the secure hash of a line: SHA-256 over
+// (PBA‖data) for blocks start+1 .. start+n−1, in order. Binding the
+// physical addresses prevents the copy-mask attack (§5.2: "a copy can
+// always be distinguished from an original").
+func lineHash(start uint64, blockData [][]byte) [sha256.Size]byte {
+	h := sha256.New()
+	var pbaBuf [8]byte
+	for i, data := range blockData {
+		binary.BigEndian.PutUint64(pbaBuf[:], start+1+uint64(i))
+		h.Write(pbaBuf[:])
+		h.Write(data)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// lineRegistered reports whether [start, start+n) overlaps a known
+// heated line. Caller holds d.mu.
+func (d *Device) lineOverlaps(start, n uint64) bool {
+	for s, li := range d.lines {
+		e := s + li.Blocks()
+		if start < e && s < start+n {
+			return true
+		}
+	}
+	return false
+}
+
+// HeatLine performs the atomic heat operation of §3 on the line of
+// 1<<logN blocks starting at start:
+//
+//  1. read blocks 1..2^N−1 magnetically;
+//  2. compute SHA-256 of the blocks and their addresses;
+//  3. write the Manchester encoding of the hash record into block 0
+//     with the electrical write operation;
+//  4. check the hash reads back electrically, or fail.
+//
+// Re-heating an identical line is harmless (identical dots are already
+// heated, EWB is idempotent); heating different content into a heated
+// block turns cells into HH, which VerifyLine reports as tampering —
+// both behaviours match §3.
+func (d *Device) HeatLine(start uint64, logN uint8) (LineInfo, error) {
+	if logN < 1 || logN > 20 {
+		return LineInfo{}, fmt.Errorf("%w: logN=%d", ErrBadLine, logN)
+	}
+	n := uint64(1) << logN
+	if start%n != 0 {
+		return LineInfo{}, fmt.Errorf("%w: start %d not aligned to %d", ErrBadLine, start, n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if start+n > uint64(d.p.Blocks) {
+		return LineInfo{}, fmt.Errorf("%w: line [%d,%d) beyond %d blocks",
+			ErrOutOfRange, start, start+n, d.p.Blocks)
+	}
+	reheat := false
+	if d.lineOverlaps(start, n) {
+		if li, ok := d.lines[start]; !ok || li.LogN != logN {
+			return LineInfo{}, fmt.Errorf("%w: [%d,%d)", ErrLineOverlap, start, start+n)
+		}
+		reheat = true
+	}
+
+	// Step 1: read the member blocks.
+	blockData := make([][]byte, 0, n-1)
+	for pba := start + 1; pba < start+n; pba++ {
+		data, err := d.mrsLocked(pba)
+		if err != nil {
+			return LineInfo{}, fmt.Errorf("device: heat read of block %d: %w", pba, err)
+		}
+		blockData = append(blockData, data)
+	}
+
+	// Step 2: hash blocks and addresses.
+	rec := HeatRecord{
+		LogN:     logN,
+		Start:    start,
+		HeatedAt: uint64(d.clock.Now()),
+		Hash:     lineHash(start, blockData),
+	}
+	if reheat {
+		// §3: a heat of an already-heated line "either has no effect
+		// and is therefore harmless (if the data in block 0 is
+		// invariant) or it will turn Manchester encoded bits into HH,
+		// thus providing evidence of tampering". An unchanged hash is
+		// a no-op; a changed one proceeds and inevitably damages the
+		// record into HH cells — exactly the evidence the paper wants.
+		if existing := d.lines[start]; existing.Record.Hash == rec.Hash {
+			return existing, nil
+		}
+		rec.HeatedAt = d.lines[start].Record.HeatedAt // timestamp dots are already burnt
+	}
+
+	// Step 3: electrical write of the Manchester-encoded record.
+	if err := d.ewsLocked(start, rec.Marshal()); err != nil {
+		return LineInfo{}, fmt.Errorf("device: heat write of block %d: %w", start, err)
+	}
+
+	// Step 4: read back and verify.
+	rep, err := d.ersLocked(start, HeatRecordBytes)
+	if err != nil {
+		return LineInfo{}, fmt.Errorf("device: heat read-back: %w", err)
+	}
+	if !rep.Clean || !bytes.Equal(rep.Payload, rec.Marshal()) {
+		return LineInfo{}, ErrHeatVerify
+	}
+
+	li := LineInfo{Start: start, LogN: logN, Record: rec}
+	d.lines[start] = li
+	d.heated[start] = true
+	d.stats.HeatLines++
+	return li, nil
+}
+
+// VerifyReport is the outcome of verifying a heated line.
+type VerifyReport struct {
+	Line LineInfo
+	// OK is true when the line shows no evidence of tampering.
+	OK bool
+	// RecordDamaged is true when block 0's Manchester cells decode
+	// with HH/UU cells or the record fails to parse — direct evidence
+	// of tampering with the hash itself.
+	RecordDamaged bool
+	// TamperedCells counts HH cells in block 0.
+	TamperedCells int
+	// HashMismatch is true when the recomputed hash differs from the
+	// stored one.
+	HashMismatch bool
+	// ReadErrors lists member blocks that could not be read
+	// magnetically (e.g. an attacker heated data dots — §5.1 "appears
+	// as a read error").
+	ReadErrors []uint64
+}
+
+// Tampered reports whether the verification found evidence of
+// tampering.
+func (r VerifyReport) Tampered() bool { return !r.OK }
+
+// VerifyLine recomputes the hash of the line starting at start and
+// compares it with the electrically stored record (§3 "Verify a heated
+// line"). All failure modes — damaged record cells, unreadable member
+// blocks, hash mismatch — are evidence of tampering and reported.
+func (d *Device) VerifyLine(start uint64) (VerifyReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	li, ok := d.lines[start]
+	if !ok {
+		return VerifyReport{}, fmt.Errorf("%w: no heated line at %d", ErrNotHeated, start)
+	}
+	return d.verifyLocked(li)
+}
+
+func (d *Device) verifyLocked(li LineInfo) (VerifyReport, error) {
+	rep := VerifyReport{Line: li, OK: true}
+	d.stats.VerifyLines++
+
+	// Read the stored record electrically.
+	ers, err := d.ersLocked(li.Start, HeatRecordBytes)
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	rep.TamperedCells = len(ers.TamperedCells)
+	var stored HeatRecord
+	if !ers.Clean {
+		rep.RecordDamaged = true
+		rep.OK = false
+	} else {
+		stored, err = UnmarshalHeatRecord(ers.Payload)
+		if err != nil {
+			rep.RecordDamaged = true
+			rep.OK = false
+		} else if stored.Start != li.Start || stored.LogN != li.LogN {
+			rep.RecordDamaged = true
+			rep.OK = false
+		}
+	}
+
+	// Recompute the hash over the member blocks.
+	n := uint64(1) << li.LogN
+	blockData := make([][]byte, 0, n-1)
+	allRead := true
+	for pba := li.Start + 1; pba < li.Start+n; pba++ {
+		data, rerr := d.mrsLocked(pba)
+		if rerr != nil {
+			rep.ReadErrors = append(rep.ReadErrors, pba)
+			rep.OK = false
+			allRead = false
+			continue
+		}
+		blockData = append(blockData, data)
+	}
+	if allRead && !rep.RecordDamaged {
+		if lineHash(li.Start, blockData) != stored.Hash {
+			rep.HashMismatch = true
+			rep.OK = false
+		}
+	}
+	return rep, nil
+}
+
+// Lines returns the heated lines known to the device, sorted by start.
+func (d *Device) Lines() []LineInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]LineInfo, 0, len(d.lines))
+	for _, li := range d.lines {
+		out = append(out, li)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Scan rebuilds the device's heated-line registry from the medium by
+// probing every block for electrical data and parsing the records it
+// finds. This is the §5.2 recovery path ("a fsck style scan of the
+// medium would definitely recover (albeit slowly) all the heated
+// files") and also models reattaching a device whose host state was
+// lost. It returns the recovered lines and a list of blocks holding
+// electrical data that does not parse as a record (evidence of raw
+// tampering or a shredded block).
+func (d *Device) Scan() (recovered []LineInfo, unparseable []uint64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lines = make(map[uint64]LineInfo)
+	d.heated = make(map[uint64]bool)
+	for pba := uint64(0); pba < uint64(d.p.Blocks); pba++ {
+		hot, perr := d.probeHeatedLocked(pba, 8)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		if !hot {
+			continue
+		}
+		d.heated[pba] = true
+		rep, rerr := d.ersLocked(pba, HeatRecordBytes)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		if !rep.Clean {
+			unparseable = append(unparseable, pba)
+			continue
+		}
+		rec, uerr := UnmarshalHeatRecord(rep.Payload)
+		if uerr != nil || rec.Start != pba {
+			unparseable = append(unparseable, pba)
+			continue
+		}
+		li := LineInfo{Start: pba, LogN: rec.LogN, Record: rec}
+		d.lines[pba] = li
+		recovered = append(recovered, li)
+	}
+	sort.Slice(recovered, func(i, j int) bool { return recovered[i].Start < recovered[j].Start })
+	return recovered, unparseable, nil
+}
+
+// ERSReport is the outcome of an electrical sector read.
+type ERSReport struct {
+	// Payload is the decoded bytes (valid when Clean).
+	Payload []byte
+	// Clean is true when every cell decoded as valid data.
+	Clean bool
+	// TamperedCells lists HH cell indices.
+	TamperedCells []int
+	// UnusedCells lists UU cell indices inside the read range.
+	UnusedCells []int
+}
+
+func decodeERS(flags []bool) (ERSReport, error) {
+	rep, err := manchester.Decode(flags)
+	out := ERSReport{
+		Payload:       rep.Data,
+		Clean:         rep.Clean(),
+		TamperedCells: rep.Tampered,
+		UnusedCells:   rep.Unused,
+	}
+	if err != nil && !errors.Is(err, manchester.ErrTampered) && !errors.Is(err, manchester.ErrUnused) {
+		return out, err
+	}
+	return out, nil
+}
+
+// decodeERSWOM decodes a WOM-coded electrical read. Every pattern is a
+// valid WOM codeword, so the report is always structurally Clean; the
+// caller's record parse and hash comparison carry the tamper evidence
+// (the §8 trade-off of the denser coding).
+func decodeERSWOM(flags []bool) (ERSReport, error) {
+	payload, err := manchester.WOMDecode(flags)
+	if err != nil {
+		return ERSReport{}, err
+	}
+	return ERSReport{Payload: payload, Clean: true}, nil
+}
+
+func manchesterDots(payloadBytes int) int { return manchester.EncodedDots(payloadBytes) }
+
+func womDots(payloadBytes int) int { return manchester.WOMEncodedDots(payloadBytes) }
+
+func manchesterEncode(payload []byte) []bool { return manchester.Encode(payload) }
+
+func womEncode(payload []byte) []bool { return manchester.WOMEncode(payload) }
+
+// headerDotOffset returns the dot offset of the data region within a
+// block's frame (the header bits come first).
+func headerDotOffset() int { return HeaderBytes * 8 }

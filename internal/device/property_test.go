@@ -1,0 +1,109 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sero/internal/sim"
+)
+
+// Property-based test: random sequences of honest device operations
+// must preserve the core invariants —
+//
+//  1. data written magnetically reads back identically until the block
+//     joins a heated line;
+//  2. heated lines always verify clean under honest operation;
+//  3. blocks inside heated lines reject magnetic writes;
+//  4. the heated-block set only grows.
+func TestDeviceInvariantsUnderRandomOps(t *testing.T) {
+	const blocks = 32
+	f := func(seed uint64, script []uint16) bool {
+		d := testDevice(t, blocks)
+		rng := sim.NewRNG(seed)
+		shadow := make(map[uint64][]byte) // expected content
+		inLine := make(map[uint64]bool)   // block belongs to a heated line
+		var lines []uint64
+		heatedCount := 0
+
+		for _, op := range script {
+			switch op % 4 {
+			case 0, 1: // write a random free block
+				pba := uint64(rng.Intn(blocks))
+				data := pattern(byte(op))
+				err := d.MWS(pba, data)
+				if inLine[pba] {
+					if err == nil {
+						t.Logf("write into heated line %d accepted", pba)
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				shadow[pba] = data
+			case 2: // read back and compare
+				pba := uint64(rng.Intn(blocks))
+				want, ok := shadow[pba]
+				if !ok || d.IsHeatedCached(pba) {
+					continue
+				}
+				got, err := d.MRS(pba)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Logf("round trip failed at %d: %v", pba, err)
+					return false
+				}
+			case 3: // heat a fresh aligned 4-block line if possible
+				start := uint64(rng.Intn(blocks/4)) * 4
+				conflict := false
+				for p := start; p < start+4; p++ {
+					if inLine[p] {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				// Ensure members are written (device requires readable
+				// frames).
+				for p := start + 1; p < start+4; p++ {
+					if shadow[p] == nil {
+						data := pattern(byte(p))
+						if err := d.MWS(p, data); err != nil {
+							return false
+						}
+						shadow[p] = data
+					}
+				}
+				if _, err := d.HeatLine(start, 2); err != nil {
+					t.Logf("heat [%d,%d): %v", start, start+4, err)
+					return false
+				}
+				for p := start; p < start+4; p++ {
+					inLine[p] = true
+				}
+				lines = append(lines, start)
+				heatedCount++
+			}
+			// Invariant: heated set never shrinks.
+			if len(d.HeatedBlocks()) < heatedCount {
+				t.Log("heated set shrank")
+				return false
+			}
+		}
+		// All heated lines verify clean.
+		for _, start := range lines {
+			rep, err := d.VerifyLine(start)
+			if err != nil || !rep.OK {
+				t.Logf("line %d dirty after honest ops: %v", start, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package device
+
+import (
+	"fmt"
+
+	"sero/internal/sim"
+)
+
+// Shred implements the §8 "Deletion" discussion: "it is possible to
+// implement a physical shred operation on the device ... which in our
+// case would physically destroy the expired data by precise local
+// heating". Shredding a heated line destroys the data blocks' dots
+// electrically — the data is unrecoverable, but the operation is
+// itself loud: the line's hash no longer verifies and every shredded
+// dot is permanent H evidence. The paper notes this is "not wholly
+// satisfactory" against a dishonest CEO, which is precisely why the
+// operation refuses to run without the line being expired by the
+// caller's retention policy — policy lives above the device.
+
+// ShredReport describes a completed shred.
+type ShredReport struct {
+	Line LineInfo
+	// DotsDestroyed counts electrical writes issued.
+	DotsDestroyed int
+}
+
+// ShredLine destroys the data blocks of the heated line at start by
+// heating every dot of every member block (block 0's record is left
+// as the tombstone). The line remains registered; VerifyLine will
+// forever report its data unreadable — a shredded line is evidence of
+// deletion, not absence of evidence.
+func (d *Device) ShredLine(start uint64) (ShredReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	li, ok := d.lines[start]
+	if !ok {
+		return ShredReport{}, fmt.Errorf("%w: no heated line at %d", ErrNotHeated, start)
+	}
+	sw := sim.NewStopwatch(d.clock)
+	destroyed := 0
+	for pba := li.Start + 1; pba < li.End(); pba++ {
+		base := d.dotBase(pba)
+		d.arr.ChargeElectricWrite(d.chargeIndex(base), DotsPerBlock)
+		for i := 0; i < DotsPerBlock; i++ {
+			d.med.EWB(base + i)
+			destroyed++
+		}
+		d.heated[pba] = true
+	}
+	d.stats.ElectricWrites++
+	d.stats.ElectricWriteNS += sw.Elapsed()
+	return ShredReport{Line: li, DotsDestroyed: destroyed}, nil
+}
+
+// IsShredded reports whether every data block of the line at start has
+// been destroyed electrically (sampled via the erb protocol).
+func (d *Device) IsShredded(start uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	li, ok := d.lines[start]
+	if !ok {
+		return false, fmt.Errorf("%w: no heated line at %d", ErrNotHeated, start)
+	}
+	for pba := li.Start + 1; pba < li.End(); pba++ {
+		base := d.dotBase(pba)
+		// Sample a handful of dots; a shredded block has all dots H.
+		for s := 0; s < 8; s++ {
+			if !d.erbDot(base + s*DotsPerBlock/8) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

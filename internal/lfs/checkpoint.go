@@ -1,0 +1,196 @@
+package lfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sero/internal/device"
+)
+
+// Checkpointing and mount. The checkpoint region at the front of the
+// device holds the serialized imap and directory; everything else
+// (segment live counts, owners, pins) is reconstructed by walking the
+// inodes and asking the device for its heated lines. Classic LFS
+// writes the imap into the log and checkpoints pointers to it; a full
+// serialization is simpler and the region is tiny compared to the log.
+
+const ckptMagic = "SCKP"
+
+// ErrBadCheckpoint reports an unreadable or corrupt checkpoint.
+var ErrBadCheckpoint = errors.New("lfs: bad checkpoint")
+
+// writeCheckpointLocked serializes imap+directory into the checkpoint
+// region.
+func (fs *FS) writeCheckpointLocked() error {
+	var buf []byte
+	buf = append(buf, ckptMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(fs.next))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(fs.imap)))
+	inos := make([]Ino, 0, len(fs.imap))
+	for ino := range fs.imap {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(ino))
+		buf = binary.BigEndian.AppendUint64(buf, fs.imap[ino])
+	}
+	names := make([]string, 0, len(fs.dir))
+	for n := range fs.dir {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		if len(n) > 255 {
+			return fmt.Errorf("lfs: name %q too long", n)
+		}
+		buf = append(buf, byte(len(n)))
+		buf = append(buf, n...)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(fs.dir[n]))
+	}
+
+	// Frame with total length, then split across checkpoint blocks.
+	framed := binary.BigEndian.AppendUint64(nil, uint64(len(buf)))
+	framed = append(framed, buf...)
+	needBlocks := (len(framed) + device.DataBytes - 1) / device.DataBytes
+	if needBlocks > fs.p.CheckpointBlocks {
+		return fmt.Errorf("lfs: checkpoint of %d blocks exceeds region %d",
+			needBlocks, fs.p.CheckpointBlocks)
+	}
+	blockBuf := make([]byte, device.DataBytes)
+	for i := 0; i < needBlocks; i++ {
+		for j := range blockBuf {
+			blockBuf[j] = 0
+		}
+		end := (i + 1) * device.DataBytes
+		if end > len(framed) {
+			end = len(framed)
+		}
+		copy(blockBuf, framed[i*device.DataBytes:end])
+		if err := fs.dev.MWS(uint64(i), blockBuf); err != nil {
+			return fmt.Errorf("lfs: writing checkpoint block %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Mount reconstructs a file system from a device previously formatted
+// and synced by this package. All in-memory state (live maps, segment
+// states, pins) is rebuilt from the checkpoint, the inodes it
+// references, and the device's heated-line registry.
+func Mount(dev *device.Device, p Params) (*FS, error) {
+	fs, err := New(dev, p)
+	if err != nil {
+		return nil, err
+	}
+	// Read the framed checkpoint.
+	first, err := dev.MRS(0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	total := binary.BigEndian.Uint64(first[:8])
+	if total == 0 || total > uint64(fs.p.CheckpointBlocks*device.DataBytes) {
+		return nil, fmt.Errorf("%w: length %d", ErrBadCheckpoint, total)
+	}
+	framed := append([]byte(nil), first...)
+	for len(framed) < int(total)+8 {
+		blk := uint64(len(framed) / device.DataBytes)
+		data, rerr := dev.MRS(blk)
+		if rerr != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadCheckpoint, blk, rerr)
+		}
+		framed = append(framed, data...)
+	}
+	buf := framed[8 : 8+total]
+	if string(buf[:4]) != ckptMagic {
+		return nil, fmt.Errorf("%w: magic", ErrBadCheckpoint)
+	}
+	off := 4
+	fs.next = Ino(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	nImap := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < nImap; i++ {
+		ino := Ino(binary.BigEndian.Uint64(buf[off:]))
+		pba := binary.BigEndian.Uint64(buf[off+8:])
+		off += 16
+		fs.imap[ino] = pba
+	}
+	nDir := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < nDir; i++ {
+		nl := int(buf[off])
+		off++
+		name := string(buf[off : off+nl])
+		off += nl
+		ino := Ino(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+		fs.dir[name] = ino
+		fs.names[ino] = name
+	}
+
+	// Rebuild liveness and segment state by walking the inodes.
+	maxSeg := -1
+	for ino, ipba := range fs.imap {
+		in, ierr := fs.loadInodeAt(ino, ipba)
+		if ierr != nil {
+			return nil, ierr
+		}
+		if !in.Heated() {
+			fs.sm.markLive(ipba, fs.now())
+			fs.owners[ipba] = blockRef{ino: ino, idx: -1}
+			for idx, pba := range in.Blocks {
+				fs.sm.markLive(pba, fs.now())
+				fs.owners[pba] = blockRef{ino: ino, idx: idx}
+			}
+		}
+		for _, pba := range in.Blocks {
+			if s := fs.sm.segOf(pba); s != nil && s.id > maxSeg {
+				maxSeg = s.id
+			}
+		}
+		if s := fs.sm.segOf(ipba); s != nil && s.id > maxSeg {
+			maxSeg = s.id
+		}
+	}
+	// Pin segments containing heated lines, per the device registry.
+	for _, li := range dev.Lines() {
+		fs.sm.pin(li.Start, int(li.Blocks()))
+		if s := fs.sm.segOf(li.Start); s != nil && s.id > maxSeg {
+			maxSeg = s.id
+		}
+	}
+	// Segments up to the high-water mark that hold live or heated data
+	// are full; the rest are free. (Active appenders are not restored;
+	// new writes open fresh segments.)
+	for _, s := range fs.sm.segs {
+		if s.state == SegPinned {
+			continue
+		}
+		if s.live > 0 {
+			s.state = SegFull
+			s.next = fs.p.SegmentBlocks
+		}
+	}
+	return fs, nil
+}
+
+// loadInodeAt reads and caches an inode from a specific block.
+func (fs *FS) loadInodeAt(ino Ino, pba uint64) (*Inode, error) {
+	data, err := fs.dev.MRS(pba)
+	if err != nil {
+		return nil, fmt.Errorf("lfs: reading inode %d at %d: %w", ino, pba, err)
+	}
+	in, err := UnmarshalInode(data)
+	if err != nil {
+		return nil, err
+	}
+	if in.Ino != ino {
+		return nil, fmt.Errorf("%w: imap says %d, block says %d", ErrBadInode, ino, in.Ino)
+	}
+	fs.inodes[ino] = in
+	return in, nil
+}

@@ -1,0 +1,205 @@
+package lfs
+
+import (
+	"sort"
+)
+
+// The segment cleaner, following the cost-benefit policy of Rosenblum
+// and Ousterhout [42], with the SERO refinement of §4.1: pinned
+// segments (those containing heated lines) are never selected —
+// "the garbage collector skips over heated segments, avoiding reading
+// and writing them repeatedly, thus saving on disk bandwidth".
+
+// CleanStats summarises one cleaning pass.
+type CleanStats struct {
+	// SegmentsCleaned counts segments returned to the free pool.
+	SegmentsCleaned int
+	// BlocksCopied counts live blocks rewritten (the GC bandwidth
+	// cost).
+	BlocksCopied int
+	// PinnedSkipped counts pinned segments that were candidates by
+	// utilisation but were skipped.
+	PinnedSkipped int
+}
+
+// Clean runs the cleaner until at least targetFree segments are free
+// or no further progress is possible.
+func (fs *FS) Clean(targetFree int) CleanStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cleanLocked(targetFree)
+}
+
+func (fs *FS) cleanLocked(targetFree int) CleanStats {
+	var cs CleanStats
+	if fs.cleaning {
+		return cs // re-entrant trigger from the cleaner's own appends
+	}
+	fs.cleaning = true
+	defer func() { fs.cleaning = false }()
+	fs.stats.CleanerPasses++
+	for fs.sm.freeSegments() < targetFree {
+		victim := fs.pickVictim(&cs)
+		if victim == nil {
+			break
+		}
+		if !fs.cleanSegment(victim, &cs) {
+			break
+		}
+	}
+	fs.stats.CleanerCopied += uint64(cs.BlocksCopied)
+	return cs
+}
+
+// pickVictim selects the full segment with the best cost-benefit
+// score: (1−u)·age / (1+u). Pinned segments are counted and skipped.
+func (fs *FS) pickVictim(cs *CleanStats) *segment {
+	type cand struct {
+		seg   *segment
+		score float64
+	}
+	now := fs.now()
+	var cands []cand
+	for _, s := range fs.sm.segs {
+		switch s.state {
+		case SegPinned:
+			// A heat-oblivious FS would try to clean these and get
+			// nothing back; we count how often the policy saves us.
+			if s.live > 0 || s.heatedBlocks < fs.p.SegmentBlocks {
+				cs.PinnedSkipped++
+				fs.stats.CleanerSkipped++
+			}
+			continue
+		case SegFull:
+			u := s.utilisation(fs.p.SegmentBlocks)
+			if u >= 1 {
+				continue
+			}
+			age := float64(now-s.modTime) + 1
+			cands = append(cands, cand{seg: s, score: (1 - u) * age / (1 + u)})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	return cands[0].seg
+}
+
+// cleanSegment copies the live blocks out of seg and frees it. Returns
+// false when copying failed (e.g. no space), leaving the segment full.
+func (fs *FS) cleanSegment(seg *segment, cs *CleanStats) bool {
+	end := seg.start + uint64(fs.p.SegmentBlocks)
+	for pba := seg.start; pba < end; pba++ {
+		if !fs.sm.isLive(pba) {
+			continue
+		}
+		ref, ok := fs.owners[pba]
+		if !ok {
+			// A live block with no owner is a bookkeeping bug.
+			panic("lfs: live block without owner")
+		}
+		if !fs.copyLive(pba, ref) {
+			return false
+		}
+		cs.BlocksCopied++
+	}
+	seg.state = SegFree
+	seg.next = 0
+	seg.live = 0
+	seg.dead = 0
+	cs.SegmentsCleaned++
+	return true
+}
+
+// copyLive relocates one live block to the log tail.
+func (fs *FS) copyLive(pba uint64, ref blockRef) bool {
+	in, err := fs.inode(ref.ino)
+	if err != nil {
+		return false
+	}
+	if ref.idx == -1 {
+		// Inode block: rewrite the inode elsewhere.
+		fs.sm.markDead(pba)
+		delete(fs.owners, pba)
+		return fs.writeInode(in) == nil
+	}
+	data, err := fs.dev.MRS(pba)
+	if err != nil {
+		return false
+	}
+	newPBA, err := fs.appendBlockAvoiding(data, in.Affinity, fs.sm.segOf(pba))
+	if err != nil {
+		return false
+	}
+	fs.sm.markDead(pba)
+	delete(fs.owners, pba)
+	in.Blocks[ref.idx] = newPBA
+	fs.sm.markLive(newPBA, fs.now())
+	fs.owners[newPBA] = blockRef{ino: ref.ino, idx: ref.idx}
+	// The inode now points elsewhere and must be rewritten too;
+	// writeInode retires the old inode block itself.
+	return fs.writeInode(in) == nil
+}
+
+// appendBlockAvoiding appends like appendBlock but never into the
+// segment being cleaned.
+func (fs *FS) appendBlockAvoiding(data []byte, affinity uint8, avoid *segment) (uint64, error) {
+	seg := fs.active[affinity]
+	if seg == avoid {
+		seg = nil
+	}
+	if seg == nil || seg.next >= fs.p.SegmentBlocks {
+		if seg != nil {
+			retireSegment(seg)
+		}
+		seg = fs.sm.allocSegment(affinity)
+		if seg == nil {
+			return 0, ErrFull
+		}
+		fs.active[affinity] = seg
+	}
+	pba := seg.start + uint64(seg.next)
+	seg.next++
+	if err := fs.dev.MWS(pba, data); err != nil {
+		return 0, err
+	}
+	seg.modTime = fs.now()
+	fs.stats.BlocksAppended++
+	return pba, nil
+}
+
+// Bimodality measures how bimodal the segment population is: for each
+// non-free segment the heated share of its *used* space
+// (heated / (heated + live)) is computed, and the metric is the
+// fraction of segments that are almost entirely heated (>90 %) or
+// almost entirely unheated (<10 %). The §4.1 clustering policy drives
+// this toward 1 — "we have only mostly heated segments and mostly
+// unheated segments" — while heat-oblivious placement leaves mixed
+// segments in the middle.
+func (fs *FS) Bimodality() float64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	total, modal := 0, 0
+	for _, s := range fs.sm.segs {
+		if s.state == SegFree {
+			continue
+		}
+		// Dead blocks in a pinned segment count as occupancy: they can
+		// never be reclaimed, so a "mostly heated" segment polluted by
+		// dead WMRM blocks is not modal.
+		used := s.heatedBlocks + s.live + s.dead
+		if used == 0 {
+			continue
+		}
+		total++
+		f := float64(s.heatedBlocks) / float64(used)
+		if f < 0.1 || f > 0.9 {
+			modal++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(modal) / float64(total)
+}

@@ -1,0 +1,526 @@
+package lfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sero/internal/device"
+)
+
+// Params configures the file system.
+type Params struct {
+	// SegmentBlocks is the segment size in blocks; must be a power of
+	// two so heated lines stay aligned. Default 64.
+	SegmentBlocks int
+
+	// CheckpointBlocks reserves space at the front of the device for
+	// the checkpoint region; rounded up to a whole number of segments.
+	// Default one segment.
+	CheckpointBlocks int
+
+	// HeatAware enables the SERO policies of §4.1: heated lines are
+	// clustered into dedicated segments and the cleaner skips them.
+	// Disabling it models a heat-oblivious LFS that mixes heated lines
+	// into data segments (the E2/E3 ablation baseline).
+	HeatAware bool
+
+	// ReserveSegments is the free-segment low-water mark that triggers
+	// cleaning on the write path.
+	ReserveSegments int
+}
+
+// DefaultParams returns the standard heat-aware configuration.
+func DefaultParams() Params {
+	return Params{
+		SegmentBlocks:    64,
+		CheckpointBlocks: 64,
+		HeatAware:        true,
+		ReserveSegments:  2,
+	}
+}
+
+// FS errors.
+var (
+	// ErrNotFound reports a missing file name or inode.
+	ErrNotFound = errors.New("lfs: file not found")
+	// ErrExists reports a Create of an existing name.
+	ErrExists = errors.New("lfs: file exists")
+	// ErrFileHeated reports a mutation of a heated (frozen) file.
+	ErrFileHeated = errors.New("lfs: file is heated (read-only)")
+	// ErrFull reports that no free segment is available even after
+	// cleaning.
+	ErrFull = errors.New("lfs: file system full")
+	// ErrTooLarge reports a write beyond MaxFileBytes.
+	ErrTooLarge = errors.New("lfs: file too large")
+)
+
+// blockRef identifies the owner of a live block.
+type blockRef struct {
+	ino Ino
+	idx int // data block index, or -1 for the inode block itself
+}
+
+// FS is a log-structured file system over a SERO device.
+type FS struct {
+	mu  sync.Mutex
+	dev *device.Device
+	p   Params
+
+	sm     *segmentManager
+	imap   map[Ino]uint64 // ino -> PBA of current inode block
+	inodes map[Ino]*Inode // parsed inode cache (authoritative between syncs)
+	owners map[uint64]blockRef
+	dir    map[string]Ino
+	names  map[Ino]string
+	next   Ino
+
+	// active data segments per affinity class.
+	active map[uint8]*segment
+	// heatSeg is the current heated-line segment per affinity
+	// (heat-aware mode); heatCursor is the next free offset in it.
+	heatSeg    map[uint8]*segment
+	heatCursor map[uint8]int
+
+	dirty map[Ino]map[int][]byte
+
+	// cleaning guards against the cleaner re-triggering itself via its
+	// own log appends.
+	cleaning bool
+
+	stats Stats
+}
+
+// Stats counts file-system activity for the experiments.
+type Stats struct {
+	BytesWritten    uint64
+	BlocksAppended  uint64
+	CleanerCopied   uint64
+	CleanerPasses   uint64
+	CleanerSkipped  uint64 // pinned segments the cleaner refused to touch
+	HeatedFiles     uint64
+	HeatedLineBlock uint64
+	Syncs           uint64
+}
+
+// New formats a fresh file system on dev.
+func New(dev *device.Device, p Params) (*FS, error) {
+	if p.SegmentBlocks <= 0 {
+		p = DefaultParams()
+	}
+	if p.SegmentBlocks&(p.SegmentBlocks-1) != 0 {
+		return nil, fmt.Errorf("lfs: segment size %d not a power of two", p.SegmentBlocks)
+	}
+	ckpt := p.CheckpointBlocks
+	if ckpt <= 0 {
+		ckpt = p.SegmentBlocks
+	}
+	// Round the checkpoint region up to whole segments so the log
+	// base stays aligned.
+	if rem := ckpt % p.SegmentBlocks; rem != 0 {
+		ckpt += p.SegmentBlocks - rem
+	}
+	p.CheckpointBlocks = ckpt
+	logBlocks := dev.Blocks() - ckpt
+	if logBlocks < 2*p.SegmentBlocks {
+		return nil, fmt.Errorf("lfs: device too small: %d log blocks", logBlocks)
+	}
+	fs := &FS{
+		dev:        dev,
+		p:          p,
+		sm:         newSegmentManager(uint64(ckpt), logBlocks, p.SegmentBlocks),
+		imap:       make(map[Ino]uint64),
+		inodes:     make(map[Ino]*Inode),
+		owners:     make(map[uint64]blockRef),
+		dir:        make(map[string]Ino),
+		names:      make(map[Ino]string),
+		next:       RootIno + 1,
+		active:     make(map[uint8]*segment),
+		heatSeg:    make(map[uint8]*segment),
+		heatCursor: make(map[uint8]int),
+		dirty:      make(map[Ino]map[int][]byte),
+	}
+	return fs, nil
+}
+
+// Device returns the underlying device.
+func (fs *FS) Device() *device.Device { return fs.dev }
+
+// Params returns the configuration in effect.
+func (fs *FS) Params() Params { return fs.p }
+
+// Stats returns a copy of the counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// now returns the device's virtual time.
+func (fs *FS) now() time.Duration { return fs.dev.Clock().Now() }
+
+// Create makes an empty file with the given heat-affinity class.
+func (fs *FS) Create(name string, affinity uint8) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if name == "" {
+		return 0, errors.New("lfs: empty file name")
+	}
+	if _, ok := fs.dir[name]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	ino := fs.next
+	fs.next++
+	fs.inodes[ino] = &Inode{Ino: ino, Affinity: affinity, MTime: fs.now()}
+	fs.dir[name] = ino
+	fs.names[ino] = name
+	return ino, nil
+}
+
+// Lookup resolves a name to an inode number.
+func (fs *FS) Lookup(name string) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.dir[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return ino, nil
+}
+
+// Names returns all file names.
+func (fs *FS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.dir))
+	for n := range fs.dir {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Stat returns a copy of the file's inode.
+func (fs *FS) Stat(ino Ino) (Inode, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.inode(ino)
+	if err != nil {
+		return Inode{}, err
+	}
+	cp := *in
+	cp.Blocks = append([]uint64(nil), in.Blocks...)
+	cp.HeatLines = append([]uint64(nil), in.HeatLines...)
+	return cp, nil
+}
+
+func (fs *FS) inode(ino Ino) (*Inode, error) {
+	if in, ok := fs.inodes[ino]; ok {
+		return in, nil
+	}
+	pba, ok := fs.imap[ino]
+	if !ok {
+		return nil, fmt.Errorf("%w: ino %d", ErrNotFound, ino)
+	}
+	data, err := fs.dev.MRS(pba)
+	if err != nil {
+		return nil, fmt.Errorf("lfs: reading inode %d at %d: %w", ino, pba, err)
+	}
+	in, err := UnmarshalInode(data)
+	if err != nil {
+		return nil, err
+	}
+	fs.inodes[ino] = in
+	return in, nil
+}
+
+// Write stores data at the given byte offset. Data is buffered until
+// Sync. Writes to heated files fail.
+func (fs *FS) Write(ino Ino, off uint64, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.inode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Heated() {
+		return fmt.Errorf("%w: ino %d", ErrFileHeated, ino)
+	}
+	end := off + uint64(len(data))
+	if end > MaxFileBytes {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, end)
+	}
+	if fs.dirty[ino] == nil {
+		fs.dirty[ino] = make(map[int][]byte)
+	}
+	fs.stats.BytesWritten += uint64(len(data))
+	for len(data) > 0 {
+		blk := int(off / device.DataBytes)
+		inner := int(off % device.DataBytes)
+		n := device.DataBytes - inner
+		if n > len(data) {
+			n = len(data)
+		}
+		buf := fs.dirty[ino][blk]
+		if buf == nil {
+			buf = make([]byte, device.DataBytes)
+			// Read-modify-write for partial overwrites of existing
+			// blocks.
+			if blk < len(in.Blocks) && (inner != 0 || n != device.DataBytes) {
+				old, rerr := fs.dev.MRS(in.Blocks[blk])
+				if rerr == nil {
+					copy(buf, old)
+				}
+			}
+			fs.dirty[ino][blk] = buf
+		}
+		copy(buf[inner:], data[:n])
+		data = data[n:]
+		off += uint64(n)
+	}
+	if end > in.Size {
+		in.Size = end
+	}
+	in.MTime = fs.now()
+	return nil
+}
+
+// WriteFile is a convenience wrapper writing the whole file content at
+// offset zero.
+func (fs *FS) WriteFile(ino Ino, data []byte) error {
+	return fs.Write(ino, 0, data)
+}
+
+// Read returns up to len(p) bytes from the file at offset off,
+// consulting the dirty buffer first.
+func (fs *FS) Read(ino Ino, off uint64, p []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.inode(ino)
+	if err != nil {
+		return 0, err
+	}
+	if off >= in.Size {
+		return 0, nil
+	}
+	if max := in.Size - off; uint64(len(p)) > max {
+		p = p[:max]
+	}
+	read := 0
+	for read < len(p) {
+		blk := int((off + uint64(read)) / device.DataBytes)
+		inner := int((off + uint64(read)) % device.DataBytes)
+		n := device.DataBytes - inner
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		var src []byte
+		if buf, ok := fs.dirty[ino][blk]; ok {
+			src = buf
+		} else if blk < len(in.Blocks) {
+			data, rerr := fs.dev.MRS(in.Blocks[blk])
+			if rerr != nil {
+				return read, fmt.Errorf("lfs: reading block %d of ino %d: %w", blk, ino, rerr)
+			}
+			src = data
+		} else {
+			src = make([]byte, device.DataBytes) // hole
+		}
+		copy(p[read:read+n], src[inner:inner+n])
+		read += n
+	}
+	return read, nil
+}
+
+// ReadFile returns the whole file content.
+func (fs *FS) ReadFile(ino Ino) ([]byte, error) {
+	st, err := fs.Stat(ino)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size)
+	n, err := fs.Read(ino, 0, buf)
+	return buf[:n], err
+}
+
+// Delete removes a file. Heated files cannot be deleted (§5.2: "This
+// implies writing the inode, which will be tamper-evident"); their
+// space is permanently read-only anyway.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.dir[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	in, err := fs.inode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Heated() {
+		return fmt.Errorf("%w: %s", ErrFileHeated, name)
+	}
+	for _, pba := range in.Blocks {
+		fs.sm.markDead(pba)
+		delete(fs.owners, pba)
+	}
+	if pba, ok := fs.imap[ino]; ok {
+		fs.sm.markDead(pba)
+		delete(fs.owners, pba)
+	}
+	delete(fs.imap, ino)
+	delete(fs.inodes, ino)
+	delete(fs.dirty, ino)
+	delete(fs.dir, name)
+	delete(fs.names, ino)
+	return nil
+}
+
+// retire transitions a filled segment out of the active state. A
+// segment that acquired heated lines while active (heat-oblivious
+// placement) retires as pinned, never as cleanable-full.
+func retireSegment(seg *segment) {
+	if seg.heatedBlocks > 0 {
+		seg.state = SegPinned
+	} else {
+		seg.state = SegFull
+	}
+}
+
+// appendBlock writes data to the log in the affinity's active segment
+// and returns its PBA, cleaning first when free space is low. A
+// heat-oblivious FS has no notion of heat affinity, so the baseline
+// configuration collapses every class onto one appender — that is the
+// "clustering off" half of the §4.1 ablation.
+func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
+	if !fs.p.HeatAware {
+		affinity = 0
+	}
+	seg := fs.active[affinity]
+	if seg == nil || seg.next >= fs.p.SegmentBlocks {
+		if seg != nil {
+			retireSegment(seg)
+		}
+		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
+			fs.cleanLocked(fs.p.ReserveSegments + 1)
+		}
+		seg = fs.sm.allocSegment(affinity)
+		if seg == nil {
+			return 0, ErrFull
+		}
+		fs.active[affinity] = seg
+	}
+	pba := seg.start + uint64(seg.next)
+	seg.next++
+	if err := fs.dev.MWS(pba, data); err != nil {
+		return 0, err
+	}
+	seg.modTime = fs.now()
+	fs.stats.BlocksAppended++
+	return pba, nil
+}
+
+// Sync flushes all dirty data and inodes to the log and writes a
+// checkpoint.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncLocked()
+}
+
+func (fs *FS) syncLocked() error {
+	fs.stats.Syncs++
+	// Deterministic flush order keeps experiments reproducible.
+	inos := make([]Ino, 0, len(fs.dirty))
+	for ino := range fs.dirty {
+		inos = append(inos, ino)
+	}
+	sortInos(inos)
+	for _, ino := range inos {
+		if err := fs.flushInode(ino); err != nil {
+			return err
+		}
+	}
+	return fs.writeCheckpointLocked()
+}
+
+func (fs *FS) flushInode(ino Ino) error {
+	in, err := fs.inode(ino)
+	if err != nil {
+		return err
+	}
+	blocks := fs.dirty[ino]
+	idxs := make([]int, 0, len(blocks))
+	for i := range blocks {
+		idxs = append(idxs, i)
+	}
+	sortInts(idxs)
+	for _, idx := range idxs {
+		pba, aerr := fs.appendBlock(blocks[idx], in.Affinity)
+		if aerr != nil {
+			return aerr
+		}
+		for len(in.Blocks) <= idx {
+			in.Blocks = append(in.Blocks, 0)
+		}
+		if old := in.Blocks[idx]; old != 0 {
+			fs.sm.markDead(old)
+			delete(fs.owners, old)
+		}
+		in.Blocks[idx] = pba
+		fs.sm.markLive(pba, fs.now())
+		fs.owners[pba] = blockRef{ino: ino, idx: idx}
+	}
+	delete(fs.dirty, ino)
+	return fs.writeInode(in)
+}
+
+// writeInode appends the inode block to the log and updates the imap.
+func (fs *FS) writeInode(in *Inode) error {
+	buf, err := in.Marshal()
+	if err != nil {
+		return err
+	}
+	pba, err := fs.appendBlock(buf, in.Affinity)
+	if err != nil {
+		return err
+	}
+	if old, ok := fs.imap[in.Ino]; ok {
+		fs.sm.markDead(old)
+		delete(fs.owners, old)
+	}
+	fs.imap[in.Ino] = pba
+	fs.sm.markLive(pba, fs.now())
+	fs.owners[pba] = blockRef{ino: in.Ino, idx: -1}
+	return nil
+}
+
+// Segments exports the segment table for experiments.
+func (fs *FS) Segments() []SegmentInfo {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.sm.snapshot()
+}
+
+// FreeSegments reports the number of reusable segments.
+func (fs *FS) FreeSegments() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.sm.freeSegments()
+}
+
+func sortInos(v []Ino) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package lfs
+
+import (
+	"fmt"
+
+	"sero/internal/device"
+)
+
+// Heating files (§4.1 and Fig 3): a heated file occupies one aligned
+// line holding [hash][inode][data...]. HeatFile relocates the file's
+// blocks into fresh contiguous space first — heating data "in the
+// right place" is exactly what the clustering policy arranges — and
+// then issues the device heat operation.
+//
+// Placement policy:
+//   - Heat-aware mode packs lines into dedicated heat segments per
+//     affinity class, so heated lines cluster and the rest of the log
+//     stays clean (bimodal segments).
+//   - Heat-oblivious mode (HeatAware=false) carves the line out of the
+//     file's current *data* segment, mixing heated lines with live
+//     WMRM data; the containing segment becomes pinned and its live
+//     data is stranded — the failure mode §4.1 warns about.
+
+// HeatResult describes a completed heat operation.
+type HeatResult struct {
+	Ino  Ino
+	Line device.LineInfo
+	// BlocksMoved counts data+inode blocks relocated into the line.
+	BlocksMoved int
+}
+
+// HeatFile freezes the named file. The file's dirty data is flushed
+// first; afterwards the file is read-only and every byte of it is
+// covered by a heated line hash.
+func (fs *FS) HeatFile(name string) (HeatResult, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.dir[name]
+	if !ok {
+		return HeatResult{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	in, err := fs.inode(ino)
+	if err != nil {
+		return HeatResult{}, err
+	}
+	if in.Heated() {
+		return HeatResult{}, fmt.Errorf("%w: %s", ErrFileHeated, name)
+	}
+	// Flush pending writes so the on-medium state is current.
+	if len(fs.dirty[ino]) > 0 {
+		if err := fs.flushInode(ino); err != nil {
+			return HeatResult{}, err
+		}
+	}
+
+	// Line needs hash + inode + data blocks.
+	need := 2 + len(in.Blocks)
+	logN := lineExponent(need)
+	start, err := fs.allocLineSpace(logN, in.Affinity)
+	if err != nil {
+		return HeatResult{}, err
+	}
+
+	// Relocate: inode at start+1, data at start+2... The inode must be
+	// written with its *final* pointers, so compute them first.
+	newBlocks := make([]uint64, len(in.Blocks))
+	for i := range in.Blocks {
+		newBlocks[i] = start + 2 + uint64(i)
+	}
+	frozen := &Inode{
+		Ino:       in.Ino,
+		Size:      in.Size,
+		MTime:     fs.now(),
+		Flags:     in.Flags | FlagHeated,
+		Affinity:  in.Affinity,
+		Blocks:    newBlocks,
+		HeatLines: []uint64{start},
+	}
+	ibuf, err := frozen.Marshal()
+	if err != nil {
+		return HeatResult{}, err
+	}
+	if err := fs.dev.MWS(start+1, ibuf); err != nil {
+		return HeatResult{}, fmt.Errorf("lfs: writing frozen inode: %w", err)
+	}
+	moved := 1
+	for i, old := range in.Blocks {
+		data, rerr := fs.dev.MRS(old)
+		if rerr != nil {
+			return HeatResult{}, fmt.Errorf("lfs: relocating block %d: %w", old, rerr)
+		}
+		if werr := fs.dev.MWS(newBlocks[i], data); werr != nil {
+			return HeatResult{}, fmt.Errorf("lfs: relocating block to %d: %w", newBlocks[i], werr)
+		}
+		moved++
+	}
+	// Zero-fill the line's slack so the hash covers defined content.
+	zero := make([]byte, device.DataBytes)
+	for pba := start + uint64(need); pba < start+(1<<logN); pba++ {
+		if err := fs.dev.MWS(pba, zero); err != nil {
+			return HeatResult{}, err
+		}
+	}
+
+	li, err := fs.dev.HeatLine(start, logN)
+	if err != nil {
+		return HeatResult{}, fmt.Errorf("lfs: heat line: %w", err)
+	}
+
+	// Retire the old locations.
+	for _, old := range in.Blocks {
+		fs.sm.markDead(old)
+		delete(fs.owners, old)
+	}
+	if old, ok := fs.imap[ino]; ok {
+		fs.sm.markDead(old)
+		delete(fs.owners, old)
+	}
+
+	// Adopt the frozen inode. Heated-line blocks are tracked by the
+	// pin, not the live map (they are not cleanable).
+	fs.inodes[ino] = frozen
+	fs.imap[ino] = start + 1
+	fs.sm.pin(start, 1<<logN)
+	fs.stats.HeatedFiles++
+	fs.stats.HeatedLineBlock += uint64(uint64(1) << logN)
+
+	return HeatResult{Ino: ino, Line: li, BlocksMoved: moved}, nil
+}
+
+// allocLineSpace finds a 2^logN-aligned run for a heated line.
+func (fs *FS) allocLineSpace(logN uint8, affinity uint8) (uint64, error) {
+	size := 1 << logN
+	if size > fs.p.SegmentBlocks {
+		return 0, fmt.Errorf("lfs: line of %d blocks exceeds segment size %d", size, fs.p.SegmentBlocks)
+	}
+	if fs.p.HeatAware {
+		return fs.allocLineClustered(logN, affinity)
+	}
+	return fs.allocLineInPlace(logN, affinity)
+}
+
+// allocLineClustered packs lines into dedicated heat segments.
+func (fs *FS) allocLineClustered(logN uint8, affinity uint8) (uint64, error) {
+	size := 1 << logN
+	seg := fs.heatSeg[affinity]
+	cursor := fs.heatCursor[affinity]
+	cursor = alignUp(cursor, size)
+	if seg == nil || cursor+size > fs.p.SegmentBlocks {
+		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
+			fs.cleanLocked(fs.p.ReserveSegments + 1)
+		}
+		seg = fs.sm.allocSegment(affinity)
+		if seg == nil {
+			return 0, ErrFull
+		}
+		seg.state = SegPinned // dedicated to heated lines from birth
+		fs.heatSeg[affinity] = seg
+		cursor = 0
+	}
+	start := seg.start + uint64(cursor)
+	fs.heatCursor[affinity] = cursor + size
+	return start, nil
+}
+
+// allocLineInPlace carves the line out of the current data segment
+// (heat-oblivious baseline; affinity-blind like appendBlock).
+func (fs *FS) allocLineInPlace(logN uint8, affinity uint8) (uint64, error) {
+	affinity = 0
+	size := 1 << logN
+	seg := fs.active[affinity]
+	if seg == nil || alignUp(seg.next, size)+size > fs.p.SegmentBlocks {
+		if seg != nil {
+			retireSegment(seg)
+		}
+		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
+			fs.cleanLocked(fs.p.ReserveSegments + 1)
+		}
+		seg = fs.sm.allocSegment(affinity)
+		if seg == nil {
+			return 0, ErrFull
+		}
+		fs.active[affinity] = seg
+	}
+	seg.next = alignUp(seg.next, size)
+	start := seg.start + uint64(seg.next)
+	seg.next += size
+	return start, nil
+}
+
+func alignUp(x, align int) int {
+	if rem := x % align; rem != 0 {
+		return x + align - rem
+	}
+	return x
+}
+
+// VerifyFile checks every heated line of the named file and returns
+// the device reports.
+func (fs *FS) VerifyFile(name string) ([]device.VerifyReport, error) {
+	fs.mu.Lock()
+	ino, ok := fs.dir[name]
+	if !ok {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	in, err := fs.inode(ino)
+	if err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
+	if !in.Heated() {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("lfs: file %s is not heated", name)
+	}
+	lines := append([]uint64(nil), in.HeatLines...)
+	fs.mu.Unlock()
+
+	var out []device.VerifyReport
+	for _, start := range lines {
+		rep, verr := fs.dev.VerifyLine(start)
+		if verr != nil {
+			return out, verr
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

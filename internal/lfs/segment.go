@@ -1,0 +1,215 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Segment management. The device space above the checkpoint region is
+// divided into fixed-size, power-of-two-aligned segments. New data is
+// appended to the current segment of its affinity class; the usage
+// table tracks live blocks per segment for the cleaner.
+
+// SegmentState classifies a segment.
+type SegmentState int
+
+// Segment states.
+const (
+	// SegFree holds no live data and can be reused.
+	SegFree SegmentState = iota
+	// SegActive is being filled by an appender.
+	SegActive
+	// SegFull has been filled and awaits cleaning.
+	SegFull
+	// SegPinned contains at least one heated line and can never be
+	// cleaned or reused (§4.1: copying a heated line "just decreases
+	// the free space").
+	SegPinned
+)
+
+// String names the state.
+func (s SegmentState) String() string {
+	switch s {
+	case SegFree:
+		return "free"
+	case SegActive:
+		return "active"
+	case SegFull:
+		return "full"
+	case SegPinned:
+		return "pinned"
+	default:
+		return fmt.Sprintf("SegmentState(%d)", int(s))
+	}
+}
+
+// segment is the in-memory bookkeeping for one on-disk segment.
+type segment struct {
+	id    int
+	start uint64 // first PBA
+	state SegmentState
+	// next is the next unwritten block offset within the segment (for
+	// active segments).
+	next int
+	// live counts blocks still referenced.
+	live int
+	// dead counts blocks that were written and later invalidated while
+	// in this segment; reset when the segment is cleaned or reused.
+	// For pinned segments this space is unreclaimable forever.
+	dead int
+	// heatedBlocks counts blocks inside heated lines.
+	heatedBlocks int
+	// modTime is the last write time, for cost-benefit ageing.
+	modTime time.Duration
+	// affinity is the class of the appender that filled it (for
+	// diagnostics and clustering policy).
+	affinity uint8
+}
+
+// segmentManager owns all segments.
+type segmentManager struct {
+	segs      []*segment
+	segBlocks int
+	base      uint64 // PBA of segment 0
+	// byBlock maps a PBA to its segment id.
+	liveMap map[uint64]bool
+}
+
+func newSegmentManager(base uint64, totalBlocks, segBlocks int) *segmentManager {
+	if segBlocks <= 0 || totalBlocks < segBlocks {
+		panic(fmt.Sprintf("lfs: bad segment geometry total=%d seg=%d", totalBlocks, segBlocks))
+	}
+	n := totalBlocks / segBlocks
+	sm := &segmentManager{
+		segBlocks: segBlocks,
+		base:      base,
+		liveMap:   make(map[uint64]bool),
+	}
+	for i := 0; i < n; i++ {
+		sm.segs = append(sm.segs, &segment{
+			id:    i,
+			start: base + uint64(i*segBlocks),
+		})
+	}
+	return sm
+}
+
+// segOf maps a PBA to its segment, or nil when outside the log.
+func (sm *segmentManager) segOf(pba uint64) *segment {
+	if pba < sm.base {
+		return nil
+	}
+	idx := int(pba-sm.base) / sm.segBlocks
+	if idx >= len(sm.segs) {
+		return nil
+	}
+	return sm.segs[idx]
+}
+
+// allocSegment returns a free segment and marks it active, or nil when
+// none is free.
+func (sm *segmentManager) allocSegment(affinity uint8) *segment {
+	for _, s := range sm.segs {
+		if s.state == SegFree {
+			s.state = SegActive
+			s.next = 0
+			s.dead = 0
+			s.affinity = affinity
+			return s
+		}
+	}
+	return nil
+}
+
+// freeSegments counts segments in SegFree.
+func (sm *segmentManager) freeSegments() int {
+	n := 0
+	for _, s := range sm.segs {
+		if s.state == SegFree {
+			n++
+		}
+	}
+	return n
+}
+
+// markLive records pba as holding live data.
+func (sm *segmentManager) markLive(pba uint64, now time.Duration) {
+	if sm.liveMap[pba] {
+		return
+	}
+	sm.liveMap[pba] = true
+	if s := sm.segOf(pba); s != nil {
+		s.live++
+		s.modTime = now
+	}
+}
+
+// markDead records that pba no longer holds live data.
+func (sm *segmentManager) markDead(pba uint64) {
+	if !sm.liveMap[pba] {
+		return
+	}
+	delete(sm.liveMap, pba)
+	if s := sm.segOf(pba); s != nil {
+		s.live--
+		s.dead++
+		if s.live < 0 {
+			panic(fmt.Sprintf("lfs: segment %d live count below zero", s.id))
+		}
+	}
+}
+
+// isLive reports whether pba holds live data.
+func (sm *segmentManager) isLive(pba uint64) bool { return sm.liveMap[pba] }
+
+// pin marks the segment containing pba (and the n-1 following blocks)
+// pinned because a heated line landed there.
+func (sm *segmentManager) pin(start uint64, n int) {
+	for pba := start; pba < start+uint64(n); pba++ {
+		if s := sm.segOf(pba); s != nil {
+			s.state = SegPinned
+			s.heatedBlocks++
+		}
+	}
+}
+
+// utilisation returns the live fraction of a segment.
+func (s *segment) utilisation(segBlocks int) float64 {
+	return float64(s.live) / float64(segBlocks)
+}
+
+// SegmentInfo is the exported view of one segment, for experiments.
+type SegmentInfo struct {
+	ID           int
+	Start        uint64
+	State        SegmentState
+	LiveBlocks   int
+	HeatedBlocks int
+	// DeadBlocks counts invalidated blocks; in a pinned segment they
+	// are lost forever (the §4.1 stranding cost).
+	DeadBlocks     int
+	Blocks         int
+	Affinity       uint8
+	HeatedFraction float64
+}
+
+// snapshot exports all segments sorted by id.
+func (sm *segmentManager) snapshot() []SegmentInfo {
+	out := make([]SegmentInfo, 0, len(sm.segs))
+	for _, s := range sm.segs {
+		out = append(out, SegmentInfo{
+			ID:             s.id,
+			Start:          s.start,
+			State:          s.state,
+			LiveBlocks:     s.live,
+			HeatedBlocks:   s.heatedBlocks,
+			DeadBlocks:     s.dead,
+			Blocks:         sm.segBlocks,
+			Affinity:       s.affinity,
+			HeatedFraction: float64(s.heatedBlocks) / float64(sm.segBlocks),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

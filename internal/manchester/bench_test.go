@@ -1,0 +1,43 @@
+package manchester
+
+import "testing"
+
+func BenchmarkEncode64(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(data)
+	}
+}
+
+func BenchmarkDecode64(b *testing.B) {
+	flags := Encode(make([]byte, 64))
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(flags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWOMEncode64(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WOMEncode(data)
+	}
+}
+
+func BenchmarkWOMDecode64(b *testing.B) {
+	flags := WOMEncode(make([]byte, 64))
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WOMDecode(flags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package manchester implements the write-once cell codings of the
+// paper. Following Molnar et al. [31], each logical bit is stored in a
+// cell of two physical dots:
+//
+//	logical 1 → UH   logical 0 → HU
+//	UU → cell never written   HH → evidence of tampering
+//
+// On the patterned medium "H" is a heated dot and "U" an intact one.
+// Because heating is irreversible (U→H only), the sole way to alter a
+// written cell is to heat its remaining U dot, producing the invalid
+// code HH — that is the tamper evidence. The encoding also guarantees a
+// heated dot has at most one heated neighbour, which spreads thermal
+// stress (§3).
+//
+// The package also provides the Rivest–Shamir write-once-memory code
+// the paper points to for higher efficiency at small line sizes
+// (§8, [33]): two writes of 2 logical bits each into 3 write-once
+// dots.
+package manchester
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CellState is the decoded state of one Manchester cell.
+type CellState int
+
+// Cell states.
+const (
+	// CellUnused is an unwritten cell (UU).
+	CellUnused CellState = iota
+	// CellZero encodes logical 0 (HU).
+	CellZero
+	// CellOne encodes logical 1 (UH).
+	CellOne
+	// CellTampered is the invalid state HH: some dot was heated after
+	// the cell was written.
+	CellTampered
+)
+
+// String returns the dot-pair notation of the state.
+func (s CellState) String() string {
+	switch s {
+	case CellUnused:
+		return "UU"
+	case CellZero:
+		return "HU"
+	case CellOne:
+		return "UH"
+	case CellTampered:
+		return "HH"
+	default:
+		return fmt.Sprintf("CellState(%d)", int(s))
+	}
+}
+
+// DecodeCell maps the pair of heated-flags (first, second dot) to a
+// cell state.
+func DecodeCell(firstHeated, secondHeated bool) CellState {
+	switch {
+	case firstHeated && secondHeated:
+		return CellTampered
+	case firstHeated:
+		return CellZero
+	case secondHeated:
+		return CellOne
+	default:
+		return CellUnused
+	}
+}
+
+// EncodeBit returns the heated-flags (first, second dot) that encode
+// bit b.
+func EncodeBit(b bool) (firstHeated, secondHeated bool) {
+	if b {
+		return false, true // UH = 1
+	}
+	return true, false // HU = 0
+}
+
+// Encode expands data into per-dot heat flags, two dots per bit,
+// MSB-first within each byte. The result has len(data)*16 entries; a
+// true entry means "heat this dot".
+func Encode(data []byte) []bool {
+	out := make([]bool, 0, len(data)*16)
+	for _, b := range data {
+		for bit := 7; bit >= 0; bit-- {
+			f, s := EncodeBit(b&(1<<bit) != 0)
+			out = append(out, f, s)
+		}
+	}
+	return out
+}
+
+// Errors returned by Decode.
+var (
+	// ErrTampered reports at least one HH cell.
+	ErrTampered = errors.New("manchester: tampered cell (HH)")
+	// ErrUnused reports at least one UU cell inside the decoded range.
+	ErrUnused = errors.New("manchester: unused cell (UU) inside data")
+	// ErrOddLength reports a dot-flag slice that does not divide into
+	// cells and bytes.
+	ErrOddLength = errors.New("manchester: flag count not a multiple of 16")
+)
+
+// DecodeReport describes the outcome of decoding a run of cells.
+type DecodeReport struct {
+	// Data is the decoded payload (valid only when Clean).
+	Data []byte
+	// Tampered lists the cell indices found in state HH.
+	Tampered []int
+	// Unused lists the cell indices found in state UU.
+	Unused []int
+}
+
+// Clean reports whether every cell decoded to a valid data state.
+func (r DecodeReport) Clean() bool {
+	return len(r.Tampered) == 0 && len(r.Unused) == 0
+}
+
+// Decode reconstructs bytes from per-dot heat flags (as produced by
+// Encode). It never guesses: cells in state HH or UU are reported and
+// the corresponding bit is left zero.
+func Decode(flags []bool) (DecodeReport, error) {
+	if len(flags)%16 != 0 {
+		return DecodeReport{}, ErrOddLength
+	}
+	rep := DecodeReport{Data: make([]byte, len(flags)/16)}
+	for cell := 0; cell*2 < len(flags); cell++ {
+		st := DecodeCell(flags[cell*2], flags[cell*2+1])
+		byteIdx, bitIdx := cell/8, 7-cell%8
+		switch st {
+		case CellOne:
+			rep.Data[byteIdx] |= 1 << bitIdx
+		case CellZero:
+			// bit already 0
+		case CellTampered:
+			rep.Tampered = append(rep.Tampered, cell)
+		case CellUnused:
+			rep.Unused = append(rep.Unused, cell)
+		}
+	}
+	var err error
+	if len(rep.Tampered) > 0 {
+		err = ErrTampered
+	} else if len(rep.Unused) > 0 {
+		err = ErrUnused
+	}
+	return rep, err
+}
+
+// EncodedDots returns the number of dots needed to Manchester-encode n
+// bytes.
+func EncodedDots(n int) int { return n * 16 }
+
+// MaxNeighbouringHeats verifies the reliability property of §3: within
+// the encoded flags, the longest run of consecutive heated dots. For
+// valid Manchester data this is at most 2 (an H at the end of one cell
+// followed by an H at the start of the next), so each heated dot has at
+// most one heated neighbour.
+func MaxNeighbouringHeats(flags []bool) int {
+	best, run := 0, 0
+	for _, f := range flags {
+		if f {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package manchester
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellStateStrings(t *testing.T) {
+	cases := map[CellState]string{
+		CellUnused:   "UU",
+		CellZero:     "HU",
+		CellOne:      "UH",
+		CellTampered: "HH",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestDecodeCellAllStates(t *testing.T) {
+	if DecodeCell(false, false) != CellUnused {
+		t.Error("UU")
+	}
+	if DecodeCell(true, false) != CellZero {
+		t.Error("HU")
+	}
+	if DecodeCell(false, true) != CellOne {
+		t.Error("UH")
+	}
+	if DecodeCell(true, true) != CellTampered {
+		t.Error("HH")
+	}
+}
+
+func TestEncodeBitInverse(t *testing.T) {
+	for _, b := range []bool{true, false} {
+		f, s := EncodeBit(b)
+		st := DecodeCell(f, s)
+		if b && st != CellOne {
+			t.Error("1 does not encode to UH")
+		}
+		if !b && st != CellZero {
+			t.Error("0 does not encode to HU")
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		rep, err := Decode(Encode(data))
+		return err == nil && rep.Clean() && bytes.Equal(rep.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDetectsTamper(t *testing.T) {
+	flags := Encode([]byte{0xA5})
+	// Heat the partner dot of cell 2: whatever its state, it becomes HH.
+	flags[4] = true
+	flags[5] = true
+	rep, err := Decode(flags)
+	if !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered", err)
+	}
+	if len(rep.Tampered) != 1 || rep.Tampered[0] != 2 {
+		t.Fatalf("tampered cells %v", rep.Tampered)
+	}
+}
+
+func TestDecodeDetectsUnused(t *testing.T) {
+	flags := Encode([]byte{0xFF})
+	flags[6] = false
+	flags[7] = false
+	rep, err := Decode(flags)
+	if !errors.Is(err, ErrUnused) {
+		t.Fatalf("err = %v, want ErrUnused", err)
+	}
+	if len(rep.Unused) != 1 || rep.Unused[0] != 3 {
+		t.Fatalf("unused cells %v", rep.Unused)
+	}
+}
+
+func TestDecodeOddLength(t *testing.T) {
+	if _, err := Decode(make([]bool, 15)); !errors.Is(err, ErrOddLength) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTamperPrecedesUnusedInError(t *testing.T) {
+	flags := Encode([]byte{0x0F})
+	flags[0], flags[1] = true, true   // HH
+	flags[2], flags[3] = false, false // UU
+	_, err := Decode(flags)
+	if !errors.Is(err, ErrTampered) {
+		t.Fatalf("tamper must dominate: %v", err)
+	}
+}
+
+func TestMaxNeighbouringHeats(t *testing.T) {
+	// Property from §3: valid Manchester data has at most 2 adjacent
+	// heated dots, i.e. every heated dot has at most one heated
+	// neighbour.
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		return MaxNeighbouringHeats(Encode(data)) <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxNeighbouringHeatsWorstCase(t *testing.T) {
+	// 0 then 1: HU UH has the two middle dots... actually HU.UH gives
+	// U,H,U,H — no adjacency. 1 then 0: UH HU → U,H,H,U: exactly 2.
+	flags := Encode([]byte{0xBF}) // 1011_1111: bit pattern containing "10"
+	if got := MaxNeighbouringHeats(flags); got != 2 {
+		t.Fatalf("worst case adjacency %d, want 2", got)
+	}
+}
+
+func TestEncodedDots(t *testing.T) {
+	if EncodedDots(32) != 512 {
+		t.Fatalf("a 256-bit hash must occupy 512 dots, got %d", EncodedDots(32))
+	}
+}
+
+func TestEncodeBytesMSBFirst(t *testing.T) {
+	flags := Encode([]byte{0x80})
+	// First cell must be UH (logical 1).
+	if DecodeCell(flags[0], flags[1]) != CellOne {
+		t.Fatal("MSB not first")
+	}
+	if DecodeCell(flags[2], flags[3]) != CellZero {
+		t.Fatal("bit 6 should be 0")
+	}
+}

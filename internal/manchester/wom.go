@@ -1,0 +1,247 @@
+package manchester
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rivest–Shamir write-once-memory code: 2 bits can be written twice
+// into 3 write-once cells (here: dots, where "writing" a dot means
+// heating it, a one-way 0→1 transition). The paper cites WOM-style
+// codes [33] as the "more efficient coding technique" for small line
+// sizes (§8): Manchester stores 1 bit in 2 dots forever, while the
+// WOM code stores 2 bits in 3 dots and even allows one rewrite —
+// 0.75 dots/bit/write versus Manchester's 2.
+//
+// First-generation codewords (at most one dot heated):
+//
+//	00→000  01→100  10→010  11→001
+//
+// Second-generation codewords (complement pattern, two or three dots):
+//
+//	00→111  01→011  10→101  11→110
+//
+// A reader distinguishes generations by weight; a writer moves from the
+// first to the second generation only by heating dots, never clearing.
+type womTable struct {
+	gen1 [4][3]bool
+	gen2 [4][3]bool
+}
+
+var wom = womTable{
+	gen1: [4][3]bool{
+		{false, false, false}, // 00
+		{true, false, false},  // 01
+		{false, true, false},  // 10
+		{false, false, true},  // 11
+	},
+	gen2: [4][3]bool{
+		{true, true, true},  // 00
+		{false, true, true}, // 01
+		{true, false, true}, // 10
+		{true, true, false}, // 11
+	},
+}
+
+// WOM errors.
+var (
+	// ErrWOMExhausted reports a write that the current cell state can
+	// no longer reach (both generations used, or an unreachable
+	// pattern requested).
+	ErrWOMExhausted = errors.New("manchester: WOM cell exhausted")
+	// ErrWOMInvalid reports a dot pattern that is no valid WOM
+	// codeword (evidence of tampering, the WOM analogue of HH).
+	ErrWOMInvalid = errors.New("manchester: invalid WOM codeword")
+)
+
+// WOMCell is a triple of write-once dots storing 2 logical bits,
+// rewritable once.
+type WOMCell struct {
+	dots [3]bool
+}
+
+// Dots returns the current heat pattern.
+func (c *WOMCell) Dots() [3]bool { return c.dots }
+
+// SetDots overwrites the raw pattern; used when loading cell state from
+// a medium. Arbitrary patterns are representable so that tampering can
+// be detected on Read.
+func (c *WOMCell) SetDots(d [3]bool) { c.dots = d }
+
+// generation classifies the current pattern: 0 = unwritten/gen-1,
+// 1 = gen-2, -1 = invalid.
+func (c *WOMCell) generation() (gen int, value byte, ok bool) {
+	for v := 0; v < 4; v++ {
+		if c.dots == wom.gen1[v] {
+			return 0, byte(v), true
+		}
+		if c.dots == wom.gen2[v] {
+			return 1, byte(v), true
+		}
+	}
+	return -1, 0, false
+}
+
+// Read decodes the 2-bit value. ErrWOMInvalid signals tampering.
+func (c *WOMCell) Read() (byte, error) {
+	_, v, ok := c.generation()
+	if !ok {
+		return 0, ErrWOMInvalid
+	}
+	return v, nil
+}
+
+// Write stores value (0..3), heating dots as needed. The first write
+// uses generation-1 codewords; a second write moves to generation 2.
+// Writes that would require clearing a dot return ErrWOMExhausted.
+func (c *WOMCell) Write(value byte) error {
+	if value > 3 {
+		panic(fmt.Sprintf("manchester: WOM value %d out of range", value))
+	}
+	gen, cur, ok := c.generation()
+	if !ok {
+		return ErrWOMInvalid
+	}
+	// Fresh cell (000 decodes as gen-1 value 00).
+	if gen == 0 && c.dots == wom.gen1[0] {
+		c.dots = wom.gen1[value]
+		return nil
+	}
+	if gen == 0 {
+		if cur == value {
+			return nil // already stores it; no dots to heat
+		}
+		target := wom.gen2[value]
+		if !reachable(c.dots, target) {
+			return ErrWOMExhausted
+		}
+		c.dots = target
+		return nil
+	}
+	// Generation 2: only the identical value is still "writable".
+	if cur == value {
+		return nil
+	}
+	return ErrWOMExhausted
+}
+
+// reachable reports whether target can be reached from cur using only
+// 0→1 (heat) transitions.
+func reachable(cur, target [3]bool) bool {
+	for i := range cur {
+		if cur[i] && !target[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WOMVector stores a sequence of 2-bit values in WOM cells.
+type WOMVector struct {
+	cells []WOMCell
+}
+
+// NewWOMVector returns a vector of n cells (2n logical bits,
+// 3n dots).
+func NewWOMVector(n int) *WOMVector {
+	if n <= 0 {
+		panic("manchester: non-positive WOM vector size")
+	}
+	return &WOMVector{cells: make([]WOMCell, n)}
+}
+
+// Len returns the number of cells.
+func (v *WOMVector) Len() int { return len(v.cells) }
+
+// Cell returns a pointer to cell i for direct manipulation.
+func (v *WOMVector) Cell(i int) *WOMCell { return &v.cells[i] }
+
+// WriteBytes stores data (2 bits per cell, MSB-first). It requires
+// len(data)*4 <= Len.
+func (v *WOMVector) WriteBytes(data []byte) error {
+	if len(data)*4 > len(v.cells) {
+		return fmt.Errorf("manchester: %d bytes exceed %d WOM cells", len(data), len(v.cells))
+	}
+	for i, b := range data {
+		for p := 0; p < 4; p++ {
+			val := (b >> (6 - 2*p)) & 3
+			if err := v.cells[i*4+p].Write(val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadBytes reads n bytes back.
+func (v *WOMVector) ReadBytes(n int) ([]byte, error) {
+	if n*4 > len(v.cells) {
+		return nil, fmt.Errorf("manchester: %d bytes exceed %d WOM cells", n, len(v.cells))
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		for p := 0; p < 4; p++ {
+			val, err := v.cells[i*4+p].Read()
+			if err != nil {
+				return nil, err
+			}
+			out[i] |= val << (6 - 2*p)
+		}
+	}
+	return out, nil
+}
+
+// DotsPerBit reports the storage efficiency of the codings: Manchester
+// uses 2 dots per bit per single write; the WOM code uses 1.5 dots per
+// bit and supports two writes, i.e. 0.75 dots per bit-write.
+func DotsPerBit(useWOM bool) float64 {
+	if useWOM {
+		return 1.5
+	}
+	return 2
+}
+
+// WOMEncodedDots returns the dots needed to WOM-encode n bytes
+// (4 cells of 3 dots per byte).
+func WOMEncodedDots(n int) int { return n * 12 }
+
+// WOMEncode expands data into per-dot heat flags using first-generation
+// Rivest-Shamir codewords: each byte becomes 4 cells of 3 dots,
+// MSB-first. Compared with Encode this saves 25 % of the dots — the
+// §8 "more efficient coding technique" — at a price the caller must
+// understand: every 3-dot pattern is a valid codeword, so tampering is
+// NOT locally evident (no HH analogue); detection falls back to the
+// record parse and the line hash.
+func WOMEncode(data []byte) []bool {
+	out := make([]bool, 0, WOMEncodedDots(len(data)))
+	for _, b := range data {
+		for p := 0; p < 4; p++ {
+			val := (b >> (6 - 2*p)) & 3
+			cw := wom.gen1[val]
+			out = append(out, cw[0], cw[1], cw[2])
+		}
+	}
+	return out
+}
+
+// WOMDecode reconstructs bytes from per-dot heat flags written by
+// WOMEncode (or advanced to second-generation codewords by a rewrite).
+// Structurally every pattern decodes; ErrOddLength-style framing is
+// the only failure.
+func WOMDecode(flags []bool) ([]byte, error) {
+	if len(flags)%12 != 0 {
+		return nil, fmt.Errorf("manchester: WOM flag count %d not a multiple of 12", len(flags))
+	}
+	out := make([]byte, len(flags)/12)
+	for cell := 0; cell*3 < len(flags); cell++ {
+		var c WOMCell
+		c.SetDots([3]bool{flags[cell*3], flags[cell*3+1], flags[cell*3+2]})
+		v, err := c.Read()
+		if err != nil {
+			return nil, err
+		}
+		byteIdx, pos := cell/4, cell%4
+		out[byteIdx] |= v << (6 - 2*pos)
+	}
+	return out, nil
+}

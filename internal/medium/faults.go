@@ -1,0 +1,49 @@
+package medium
+
+import "fmt"
+
+// Fault injection. Real patterned media have defective dots (missing,
+// merged, or pinned); the device layer's ECC and bad-block handling
+// must cope, and crucially must distinguish a *bad* block from a
+// *heated* one (§3 "a heated block should not be misinterpreted as a
+// bad block"). Tests drive these hooks.
+
+// StuckKind describes a dot defect.
+type StuckKind int8
+
+// Defect kinds.
+const (
+	// StuckNone marks a healthy dot.
+	StuckNone StuckKind = iota
+	// StuckUp pins the read signal at +amplitude regardless of writes.
+	StuckUp
+	// StuckDown pins the read signal at -amplitude.
+	StuckDown
+	// StuckDead makes the dot produce no signal at all (missing dot),
+	// indistinguishable from a heated dot at read time — the hard case
+	// for bad-block discrimination.
+	StuckDead
+)
+
+// SetStuck injects a defect into dot i. Passing StuckNone clears it.
+func (m *Medium) SetStuck(i int, k StuckKind) {
+	switch k {
+	case StuckNone, StuckUp, StuckDown, StuckDead:
+	default:
+		panic(fmt.Sprintf("medium: unknown stuck kind %d", int(k)))
+	}
+	m.at(i).stuck = k
+}
+
+// Stuck returns the defect status of dot i.
+func (m *Medium) Stuck(i int) StuckKind { return m.at(i).stuck }
+
+// CorruptMagnetic flips the magnetisation of dot i directly, bypassing
+// the write path. Models media decay or an attacker with a raw write
+// head. No effect on heated dots (nothing to flip).
+func (m *Medium) CorruptMagnetic(i int) {
+	d := m.at(i)
+	if !d.heated() {
+		d.up = !d.up
+	}
+}

@@ -1,0 +1,116 @@
+package medium
+
+import (
+	"testing"
+
+	"sero/internal/physics"
+)
+
+func TestDefaultPulseDestroysInOneShot(t *testing.T) {
+	m := New(quiet(1, 4))
+	m.EWB(0)
+	if m.State(0) != DotH {
+		t.Fatalf("default pulse left dot at damage %g", m.Damage(0))
+	}
+}
+
+func TestWeakPulseAccumulates(t *testing.T) {
+	p := quiet(1, 4)
+	p.PulseTempC = 700 // needs ~5 pulses at 50 µs
+	m := New(p)
+	pulses := 0
+	for m.State(0) != DotH {
+		m.EWB(0)
+		pulses++
+		if pulses > 100 {
+			t.Fatal("700 °C pulses never destroyed the dot")
+		}
+	}
+	if pulses < 2 {
+		t.Fatalf("700 °C destroyed in %d pulse(s); expected accumulation", pulses)
+	}
+	// Damage grew monotonically to ≥ threshold.
+	if m.Damage(0) < physics.HeatedDamageThreshold {
+		t.Fatal("heated dot below damage threshold")
+	}
+}
+
+func TestSubThresholdPulseNeverDestroys(t *testing.T) {
+	p := quiet(1, 4)
+	p.PulseTempC = 550 // equilibrium mixing below the threshold
+	m := New(p)
+	for i := 0; i < 2000; i++ {
+		m.EWB(0)
+	}
+	if m.State(0) == DotH {
+		t.Fatal("equilibrium-limited pulses destroyed the dot")
+	}
+	// But the dot did take partial damage.
+	if m.Damage(0) == 0 {
+		t.Fatal("no damage accumulated at all")
+	}
+	// And it still works magnetically.
+	m.MWB(0, true)
+	if !m.MRB(0) {
+		t.Fatal("partially damaged dot lost magnetic function")
+	}
+}
+
+func TestNeighborSurvivesDefaultWrites(t *testing.T) {
+	m := New(quiet(1, 8))
+	// Heat dot 2 hundreds of times (idempotent after the first, but
+	// each EWB call pulses the neighbours).
+	for i := 0; i < 500; i++ {
+		m.EWB(2)
+	}
+	if m.State(1) == DotH || m.State(3) == DotH {
+		t.Fatal("neighbours destroyed at default attenuation")
+	}
+}
+
+func TestPoorHeatSinkingKillsNeighbors(t *testing.T) {
+	p := quiet(1, 8)
+	p.NeighborTempFactor = 0.7
+	m := New(p)
+	for i := 0; i < 100; i++ {
+		m.EWB(2)
+	}
+	if m.State(1) != DotH && m.State(3) != DotH {
+		t.Fatalf("0.7 attenuation after 100 writes: neighbour damage %g",
+			m.Damage(1))
+	}
+}
+
+func TestDamageMonotone(t *testing.T) {
+	p := quiet(1, 2)
+	p.PulseTempC = 650
+	m := New(p)
+	last := 0.0
+	for i := 0; i < 50; i++ {
+		m.EWB(0)
+		d := m.Damage(0)
+		if d < last {
+			t.Fatal("damage decreased")
+		}
+		last = d
+	}
+}
+
+func TestPulseDamagePhysics(t *testing.T) {
+	// Equilibrium ceiling: damage converges to the equilibrium, not 1.
+	d := 0.0
+	for i := 0; i < 10000; i++ {
+		d = physics.PulseDamage(550, 50e-6, d)
+	}
+	if d >= physics.HeatedDamageThreshold {
+		t.Fatalf("550 °C converged to %g, above threshold %g", d, physics.HeatedDamageThreshold)
+	}
+	// Zero-duration pulse is a no-op.
+	if physics.PulseDamage(900, 0, 0.3) != 0.3 {
+		t.Fatal("zero-duration pulse changed damage")
+	}
+	// Damage never exceeds 1.
+	if physics.PulseDamage(1200, 10, 0.99) > 1 {
+		t.Fatal("damage above 1")
+	}
+}

@@ -1,0 +1,113 @@
+package medium
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Medium state persistence. A snapshot captures the full physical
+// state of every dot (magnetisation, heat damage, defects, wear) so a
+// simulated medium can be saved to a file and reattached later —
+// including by a different host that then has to rediscover the heated
+// lines with a scan, exactly the §5.2 recovery scenario.
+
+const (
+	snapMagic   = "SMED"
+	snapVersion = 2
+)
+
+// ErrBadSnapshot reports an unparseable snapshot.
+var ErrBadSnapshot = errors.New("medium: bad snapshot")
+
+// Snapshot serialises the complete medium state.
+func (m *Medium) Snapshot() []byte {
+	var buf []byte
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.p.Rows))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.p.Cols))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.PitchNM))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.SignalAmplitude))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.ReadNoiseSigma))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.ResidualInPlaneSignal))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.ThermalCrosstalk))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.PulseTempC))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.PulseSeconds))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.p.NeighborTempFactor))
+	buf = binary.BigEndian.AppendUint64(buf, m.p.Seed)
+	for i := range m.dots {
+		d := &m.dots[i]
+		var flags byte
+		if d.up {
+			flags |= 1
+		}
+		if d.inPlaneSign > 0 {
+			flags |= 4
+		}
+		flags |= byte(d.stuck) << 3
+		buf = append(buf, flags)
+		// damage quantised to 1/255 — well below the heated threshold's
+		// granularity needs.
+		buf = append(buf, byte(float64(d.damage)*255+0.5))
+		buf = binary.BigEndian.AppendUint32(buf, d.wearWrites)
+	}
+	return buf
+}
+
+// RestoreSnapshot reconstructs a medium from a snapshot produced by
+// Snapshot.
+func RestoreSnapshot(buf []byte) (*Medium, error) {
+	const header = 4 + 1 + 4 + 4 + 9*8
+	if len(buf) < header || string(buf[0:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: header", ErrBadSnapshot)
+	}
+	if buf[4] != snapVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadSnapshot, buf[4])
+	}
+	off := 5
+	rows := int(binary.BigEndian.Uint32(buf[off:]))
+	cols := int(binary.BigEndian.Uint32(buf[off+4:]))
+	off += 8
+	readF := func() float64 {
+		v := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+		return v
+	}
+	p := Params{Rows: rows, Cols: cols}
+	p.PitchNM = readF()
+	p.SignalAmplitude = readF()
+	p.ReadNoiseSigma = readF()
+	p.ResidualInPlaneSignal = readF()
+	p.ThermalCrosstalk = readF()
+	p.PulseTempC = readF()
+	p.PulseSeconds = readF()
+	p.NeighborTempFactor = readF()
+	p.Seed = binary.BigEndian.Uint64(buf[off:])
+	off += 8
+
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w: geometry %dx%d", ErrBadSnapshot, rows, cols)
+	}
+	need := off + rows*cols*6
+	if len(buf) != need {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadSnapshot, len(buf), need)
+	}
+	m := New(p)
+	for i := range m.dots {
+		flags := buf[off]
+		d := &m.dots[i]
+		d.up = flags&1 != 0
+		d.damage = float32(buf[off+1]) / 255
+		if flags&4 != 0 {
+			d.inPlaneSign = 1
+		} else if d.heated() {
+			d.inPlaneSign = -1
+		}
+		d.stuck = StuckKind(flags >> 3 & 3)
+		d.wearWrites = binary.BigEndian.Uint32(buf[off+2:])
+		off += 6
+	}
+	return m, nil
+}

@@ -1,0 +1,31 @@
+package physics
+
+import "testing"
+
+func BenchmarkTorqueMeasureAndExtract(b *testing.B) {
+	mm := NewMagnetometer(1)
+	s := DefaultSample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mm.MeasureAnisotropy(s)
+	}
+}
+
+func BenchmarkXRDLowAngleScan(b *testing.B) {
+	d := NewDiffractometer(1)
+	s := DefaultSample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ScanLowAngle(s)
+	}
+}
+
+func BenchmarkPulseDamage(b *testing.B) {
+	var dmg float64
+	for i := 0; i < b.N; i++ {
+		dmg = PulseDamage(700, 50e-6, dmg)
+		if dmg >= 1 {
+			dmg = 0
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"sero/internal/sim"
+)
+
+func TestTimingRatios(t *testing.T) {
+	tm := DefaultTiming()
+	// §3: erb is at least 5 times slower than mrb.
+	if tm.ERB() < 5*tm.MRB() {
+		t.Fatalf("erb %v < 5×mrb %v", tm.ERB(), tm.MRB())
+	}
+	// ewb is slower than mwb because of the heating dwell.
+	if tm.EWB() <= tm.MWB() {
+		t.Fatalf("ewb %v not slower than mwb %v", tm.EWB(), tm.MWB())
+	}
+}
+
+func TestActuatorSeekCost(t *testing.T) {
+	var c sim.Clock
+	a := NewActuator(DefaultTiming(), DefaultGeometry(), &c)
+	a.SeekTo(Position{X: 10, Y: 0})
+	want := 10*DefaultTiming().SeekPerMicron + DefaultTiming().Settle
+	if c.Now() != want {
+		t.Fatalf("seek cost %v, want %v", c.Now(), want)
+	}
+}
+
+func TestActuatorDiagonalUsesLongerAxis(t *testing.T) {
+	var c sim.Clock
+	a := NewActuator(DefaultTiming(), DefaultGeometry(), &c)
+	a.SeekTo(Position{X: 3, Y: 10})
+	want := 10*DefaultTiming().SeekPerMicron + DefaultTiming().Settle
+	if c.Now() != want {
+		t.Fatalf("diagonal seek cost %v, want %v (axes move concurrently)", c.Now(), want)
+	}
+}
+
+func TestActuatorZeroSeekFree(t *testing.T) {
+	var c sim.Clock
+	a := NewActuator(DefaultTiming(), DefaultGeometry(), &c)
+	a.SeekTo(Position{X: 5, Y: 5})
+	before := c.Now()
+	a.SeekTo(Position{X: 5, Y: 5})
+	if c.Now() != before {
+		t.Fatal("zero-distance seek charged time")
+	}
+}
+
+func TestActuatorOutOfRangePanics(t *testing.T) {
+	a := NewActuator(DefaultTiming(), DefaultGeometry(), &sim.Clock{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-field seek did not panic")
+		}
+	}()
+	a.SeekTo(Position{X: 1e6, Y: 0})
+}
+
+func TestActuatorStats(t *testing.T) {
+	var c sim.Clock
+	a := NewActuator(DefaultTiming(), DefaultGeometry(), &c)
+	a.SeekTo(Position{X: 10, Y: 0})
+	a.SeekTo(Position{X: 10, Y: 20})
+	seeks, total, microns := a.SeekStats()
+	if seeks != 2 {
+		t.Fatalf("seeks %d", seeks)
+	}
+	if total != c.Now() {
+		t.Fatalf("seek time %v clock %v", total, c.Now())
+	}
+	if microns != 30 {
+		t.Fatalf("travel %g", microns)
+	}
+}
+
+func TestArrayParallelism(t *testing.T) {
+	// Probes() consecutive dots at one sled position transfer in a
+	// single bit-cell round.
+	var c sim.Clock
+	g := DefaultGeometry()
+	a := NewArray(DefaultTiming(), g, 100, &c)
+	a.ChargeMagneticRead(0, g.Probes())
+	want := DefaultTiming().MRB() // one round, no seek from origin
+	if c.Now() != want {
+		t.Fatalf("parallel read cost %v, want %v", c.Now(), want)
+	}
+}
+
+func TestArraySequentialCheaperThanRandom(t *testing.T) {
+	tm := DefaultTiming()
+	g := DefaultGeometry()
+
+	var seq sim.Clock
+	as := NewArray(tm, g, 100, &seq)
+	const dots = 1 << 15
+	as.ChargeMagneticRead(0, dots)
+
+	var rnd sim.Clock
+	ar := NewArray(tm, g, 100, &rnd)
+	rng := sim.NewRNG(3)
+	for i := 0; i < dots/g.Probes(); i++ {
+		start := rng.Intn(ar.Capacity() - g.Probes())
+		ar.ChargeMagneticRead(start, g.Probes())
+	}
+	if seq.Now() >= rnd.Now() {
+		t.Fatalf("sequential %v not cheaper than random %v", seq.Now(), rnd.Now())
+	}
+}
+
+func TestArrayCapacity(t *testing.T) {
+	g := Geometry{ProbeRows: 2, ProbeCols: 2, FieldMicrons: 1}
+	a := NewArray(DefaultTiming(), g, 100, &sim.Clock{})
+	// 1 µm field at 100 nm pitch = 10 dots per side = 100 positions,
+	// ×4 probes = 400 dots.
+	if a.Capacity() != 400 {
+		t.Fatalf("capacity %d, want 400", a.Capacity())
+	}
+}
+
+func TestPositionOfSerpentine(t *testing.T) {
+	g := Geometry{ProbeRows: 1, ProbeCols: 1, FieldMicrons: 1}
+	a := NewArray(DefaultTiming(), g, 100, &sim.Clock{})
+	// Row 0 goes left→right, row 1 right→left.
+	p0 := a.PositionOf(0)
+	p9 := a.PositionOf(9)
+	p10 := a.PositionOf(10)
+	if p0.X != 0 || p0.Y != 0 {
+		t.Fatalf("first dot at %+v", p0)
+	}
+	if p9.Y != 0 {
+		t.Fatal("dot 9 not in row 0")
+	}
+	// Dot 10 starts row 1 at the right edge (serpentine): X must equal
+	// dot 9's X.
+	if p10.X != p9.X {
+		t.Fatalf("serpentine broken: %+v vs %+v", p10, p9)
+	}
+}
+
+func TestPositionOutOfRangePanics(t *testing.T) {
+	g := Geometry{ProbeRows: 1, ProbeCols: 1, FieldMicrons: 1}
+	a := NewArray(DefaultTiming(), g, 100, &sim.Clock{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.PositionOf(a.Capacity())
+}
+
+func TestElectricChargesMoreThanMagnetic(t *testing.T) {
+	g := DefaultGeometry()
+	var cm, ce sim.Clock
+	am := NewArray(DefaultTiming(), g, 100, &cm)
+	ae := NewArray(DefaultTiming(), g, 100, &ce)
+	am.ChargeMagneticRead(0, 1024)
+	ae.ChargeElectricRead(0, 1024)
+	if ce.Now() < 5*cm.Now() {
+		t.Fatalf("electric read %v not ≥5× magnetic %v", ce.Now(), cm.Now())
+	}
+}
+
+func TestChargeZeroBitsFree(t *testing.T) {
+	var c sim.Clock
+	a := NewArray(DefaultTiming(), DefaultGeometry(), 100, &c)
+	a.ChargeMagneticRead(0, 0)
+	if c.Now() != 0 {
+		t.Fatal("zero-bit charge advanced clock")
+	}
+}
+
+func TestNewArrayPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewArray(DefaultTiming(), DefaultGeometry(), 0, &sim.Clock{}) },
+		func() {
+			NewArray(DefaultTiming(), Geometry{ProbeRows: 1, ProbeCols: 1, FieldMicrons: 0.00001}, 100, &sim.Clock{})
+		},
+		func() { NewActuator(DefaultTiming(), Geometry{}, &sim.Clock{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestThroughputOrderOfMagnitude(t *testing.T) {
+	// Sanity: a 32×32 array at 10 µs/bit sustains ~12.8 MB/s streaming
+	// (1024 bits / 10 µs = 102.4 Mbit/s) ignoring seeks. Sequential
+	// access with short serpentine steps should stay within 2× of
+	// that.
+	var c sim.Clock
+	g := DefaultGeometry()
+	a := NewArray(DefaultTiming(), g, 100, &c)
+	const dots = 1 << 20
+	a.ChargeMagneticRead(0, dots)
+	bits := float64(dots)
+	seconds := c.Now().Seconds()
+	mbps := bits / 8 / 1e6 / seconds
+	if mbps < 6 || mbps > 13 {
+		t.Fatalf("streaming throughput %.1f MB/s, want 6–13", mbps)
+	}
+}
+
+func TestTimingDurationsPositive(t *testing.T) {
+	tm := DefaultTiming()
+	for _, d := range []time.Duration{tm.MRB(), tm.MWB(), tm.ERB(), tm.EWB()} {
+		if d <= 0 {
+			t.Fatal("non-positive op latency")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator
+// (xorshift64star). The repository avoids math/rand so that every
+// stochastic component (read noise, workload arrivals, attack fuzzing)
+// is seeded explicitly and reproducible across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped
+// to a fixed non-zero constant because xorshift has a zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard-normal variate using the polar
+// Box-Muller method. Used for analog read-signal noise.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * sqrt(-2*ln(s)/s)
+		}
+	}
+}
+
+// Bool returns a pseudo-random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Exponential returns an exponentially distributed variate with the
+// given mean. Used for workload inter-arrival times.
+func (r *RNG) Exponential(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * ln(u)
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }

@@ -1,0 +1,285 @@
+// Package workload provides the synthetic workloads driving the
+// performance experiments: the hot/cold write mix conventional in LFS
+// evaluation [42], the database-snapshot pattern the paper's
+// introduction motivates ("most data bases support a snapshot
+// operation that freezes the contents of the data base"), and a
+// compliance-ingest stream with per-retention-class affinity (§8
+// "data to be segregated by expiry date").
+package workload
+
+import (
+	"fmt"
+
+	"sero/internal/device"
+	"sero/internal/lfs"
+	"sero/internal/sim"
+)
+
+// Op is one file-system operation produced by a generator.
+type Op struct {
+	Kind OpKind
+	// Name is the target file.
+	Name string
+	// Affinity is the heat-affinity class for creates.
+	Affinity uint8
+	// Offset, Data describe writes.
+	Offset uint64
+	Data   []byte
+}
+
+// OpKind enumerates generated operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpCreate OpKind = iota
+	OpWrite
+	OpDelete
+	OpHeat
+	OpSync
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpDelete:
+		return "delete"
+	case OpHeat:
+		return "heat"
+	case OpSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Apply executes an op stream against a file system, creating files on
+// demand, and returns counts of applied ops. Errors abort the run:
+// generated workloads are supposed to be applicable by construction.
+func Apply(fs *lfs.FS, ops []Op) (applied int, err error) {
+	inos := make(map[string]lfs.Ino)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCreate:
+			ino, cerr := fs.Create(op.Name, op.Affinity)
+			if cerr != nil {
+				return applied, fmt.Errorf("workload: create %s: %w", op.Name, cerr)
+			}
+			inos[op.Name] = ino
+		case OpWrite:
+			ino, ok := inos[op.Name]
+			if !ok {
+				var lerr error
+				ino, lerr = fs.Lookup(op.Name)
+				if lerr != nil {
+					return applied, lerr
+				}
+				inos[op.Name] = ino
+			}
+			if werr := fs.Write(ino, op.Offset, op.Data); werr != nil {
+				return applied, fmt.Errorf("workload: write %s: %w", op.Name, werr)
+			}
+		case OpDelete:
+			if derr := fs.Delete(op.Name); derr != nil {
+				return applied, fmt.Errorf("workload: delete %s: %w", op.Name, derr)
+			}
+			delete(inos, op.Name)
+		case OpHeat:
+			if _, herr := fs.HeatFile(op.Name); herr != nil {
+				return applied, fmt.Errorf("workload: heat %s: %w", op.Name, herr)
+			}
+		case OpSync:
+			if serr := fs.Sync(); serr != nil {
+				return applied, serr
+			}
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// HotCold generates the classic skewed write workload: HotFraction of
+// the files receive AccessSkew of the writes.
+type HotCold struct {
+	// Files is the file population size.
+	Files int
+	// FileBlocks is each file's size in blocks.
+	FileBlocks int
+	// HotFraction of files are hot (e.g. 0.1).
+	HotFraction float64
+	// AccessSkew of writes go to hot files (e.g. 0.9).
+	AccessSkew float64
+	// Writes is the number of write ops to generate.
+	Writes int
+	// SyncEvery inserts a sync after this many writes.
+	SyncEvery int
+}
+
+// DefaultHotCold returns the 10/90 configuration used by the paper's
+// LFS reference.
+func DefaultHotCold(files, writes int) HotCold {
+	return HotCold{
+		Files:       files,
+		FileBlocks:  4,
+		HotFraction: 0.1,
+		AccessSkew:  0.9,
+		Writes:      writes,
+		SyncEvery:   8,
+	}
+}
+
+// Generate produces the op stream.
+func (w HotCold) Generate(rng *sim.RNG) []Op {
+	if w.Files <= 0 || w.Writes < 0 {
+		panic(fmt.Sprintf("workload: bad HotCold %+v", w))
+	}
+	var ops []Op
+	for i := 0; i < w.Files; i++ {
+		ops = append(ops, Op{Kind: OpCreate, Name: hcName(i), Affinity: 0})
+	}
+	hot := int(float64(w.Files) * w.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	blockBytes := device.DataBytes
+	for i := 0; i < w.Writes; i++ {
+		var file int
+		if rng.Float64() < w.AccessSkew {
+			file = rng.Intn(hot)
+		} else {
+			file = hot + rng.Intn(w.Files-hot)
+		}
+		blk := rng.Intn(w.FileBlocks)
+		data := make([]byte, blockBytes)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		ops = append(ops, Op{
+			Kind:   OpWrite,
+			Name:   hcName(file),
+			Offset: uint64(blk * blockBytes),
+			Data:   data,
+		})
+		if w.SyncEvery > 0 && (i+1)%w.SyncEvery == 0 {
+			ops = append(ops, Op{Kind: OpSync})
+		}
+	}
+	ops = append(ops, Op{Kind: OpSync})
+	return ops
+}
+
+func hcName(i int) string { return fmt.Sprintf("hc-%04d", i) }
+
+// Snapshot generates the database-snapshot pattern: a set of table
+// files receives continuous updates; periodically the current state is
+// copied into snapshot files which are immediately heated.
+type Snapshot struct {
+	// Tables is the number of live table files.
+	Tables int
+	// TableBlocks is each table's size in blocks.
+	TableBlocks int
+	// Updates is the total number of record updates.
+	Updates int
+	// SnapshotEvery takes a snapshot after this many updates.
+	SnapshotEvery int
+	// Affinity is the heat-affinity class assigned to snapshots.
+	Affinity uint8
+}
+
+// DefaultSnapshot returns a moderate audit workload.
+func DefaultSnapshot(updates int) Snapshot {
+	return Snapshot{
+		Tables:        4,
+		TableBlocks:   6,
+		Updates:       updates,
+		SnapshotEvery: 50,
+		Affinity:      1,
+	}
+}
+
+// Generate produces the op stream.
+func (w Snapshot) Generate(rng *sim.RNG) []Op {
+	var ops []Op
+	for t := 0; t < w.Tables; t++ {
+		ops = append(ops, Op{Kind: OpCreate, Name: snapTable(t), Affinity: 0})
+	}
+	snapID := 0
+	for u := 0; u < w.Updates; u++ {
+		t := rng.Intn(w.Tables)
+		blk := rng.Intn(w.TableBlocks)
+		data := make([]byte, device.DataBytes)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		ops = append(ops, Op{
+			Kind:   OpWrite,
+			Name:   snapTable(t),
+			Offset: uint64(blk * device.DataBytes),
+			Data:   data,
+		})
+		if w.SnapshotEvery > 0 && (u+1)%w.SnapshotEvery == 0 {
+			ops = append(ops, Op{Kind: OpSync})
+			// A snapshot copies each table into a frozen file. The
+			// generator emits creates+writes+heat; content here is a
+			// marker (the experiment measures placement, not content).
+			for t := 0; t < w.Tables; t++ {
+				name := fmt.Sprintf("snap-%03d-t%d", snapID, t)
+				ops = append(ops, Op{Kind: OpCreate, Name: name, Affinity: w.Affinity})
+				data := make([]byte, w.TableBlocks*device.DataBytes)
+				for j := range data {
+					data[j] = byte(rng.Uint64())
+				}
+				ops = append(ops,
+					Op{Kind: OpWrite, Name: name, Data: data},
+					Op{Kind: OpHeat, Name: name},
+				)
+			}
+			snapID++
+		}
+	}
+	ops = append(ops, Op{Kind: OpSync})
+	return ops
+}
+
+func snapTable(t int) string { return fmt.Sprintf("table-%d", t) }
+
+// ComplianceIngest generates a document-retention stream: documents
+// arrive, are written once, and heated immediately; each document
+// belongs to an expiry class that becomes its heat affinity (§8: "We
+// would advocate data to be segregated by expiry date").
+type ComplianceIngest struct {
+	// Documents is the number of documents to ingest.
+	Documents int
+	// MaxBlocks bounds document size.
+	MaxBlocks int
+	// Classes is the number of expiry classes.
+	Classes int
+}
+
+// Generate produces the op stream.
+func (w ComplianceIngest) Generate(rng *sim.RNG) []Op {
+	if w.Documents <= 0 || w.MaxBlocks <= 0 || w.Classes <= 0 {
+		panic(fmt.Sprintf("workload: bad ComplianceIngest %+v", w))
+	}
+	var ops []Op
+	for d := 0; d < w.Documents; d++ {
+		class := uint8(rng.Intn(w.Classes))
+		name := fmt.Sprintf("doc-%05d", d)
+		blocks := 1 + rng.Intn(w.MaxBlocks)
+		data := make([]byte, blocks*device.DataBytes)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		ops = append(ops,
+			Op{Kind: OpCreate, Name: name, Affinity: class},
+			Op{Kind: OpWrite, Name: name, Data: data},
+			Op{Kind: OpHeat, Name: name},
+		)
+	}
+	ops = append(ops, Op{Kind: OpSync})
+	return ops
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"sero/internal/device"
+	"sero/internal/lfs"
+	"sero/internal/medium"
+	"sero/internal/sim"
+)
+
+func testFS(t testing.TB, blocks int) *lfs.FS {
+	t.Helper()
+	dp := device.DefaultParams(blocks)
+	mp := medium.DefaultParams(blocks, device.DotsPerBlock)
+	mp.ReadNoiseSigma = 0
+	mp.ResidualInPlaneSignal = 0
+	mp.ThermalCrosstalk = 0
+	dp.Medium = mp
+	p := lfs.Params{SegmentBlocks: 32, CheckpointBlocks: 32, HeatAware: true, ReserveSegments: 2}
+	fs, err := lfs.New(device.New(dp), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestHotColdGenerate(t *testing.T) {
+	w := DefaultHotCold(20, 100)
+	ops := w.Generate(sim.NewRNG(1))
+	creates, writes, syncs := 0, 0, 0
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCreate:
+			creates++
+		case OpWrite:
+			writes++
+		case OpSync:
+			syncs++
+		}
+	}
+	if creates != 20 || writes != 100 {
+		t.Fatalf("creates %d writes %d", creates, writes)
+	}
+	if syncs == 0 {
+		t.Fatal("no syncs generated")
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	w := DefaultHotCold(100, 5000)
+	ops := w.Generate(sim.NewRNG(2))
+	hotWrites, totalWrites := 0, 0
+	for _, op := range ops {
+		if op.Kind != OpWrite {
+			continue
+		}
+		totalWrites++
+		var idx int
+		if _, err := fmtSscanf(op.Name, &idx); err == nil && idx < 10 {
+			hotWrites++
+		}
+	}
+	frac := float64(hotWrites) / float64(totalWrites)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot write fraction %g, want ≈0.9", frac)
+	}
+}
+
+// fmtSscanf extracts the numeric suffix of a hc-file name.
+func fmtSscanf(name string, idx *int) (int, error) {
+	var n int
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '-' {
+			for j := i + 1; j < len(name); j++ {
+				n = n*10 + int(name[j]-'0')
+			}
+			*idx = n
+			return 1, nil
+		}
+	}
+	return 0, errNoIndex
+}
+
+var errNoIndex = errType{}
+
+type errType struct{}
+
+func (errType) Error() string { return "no index" }
+
+func TestApplyHotCold(t *testing.T) {
+	fs := testFS(t, 4096)
+	ops := DefaultHotCold(10, 60).Generate(sim.NewRNG(3))
+	applied, err := Apply(fs, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(ops) {
+		t.Fatalf("applied %d of %d", applied, len(ops))
+	}
+	if len(fs.Names()) != 10 {
+		t.Fatalf("files %d", len(fs.Names()))
+	}
+}
+
+func TestApplySnapshotHeats(t *testing.T) {
+	fs := testFS(t, 8192)
+	w := Snapshot{Tables: 2, TableBlocks: 3, Updates: 60, SnapshotEvery: 30, Affinity: 1}
+	ops := w.Generate(sim.NewRNG(4))
+	if _, err := Apply(fs, ops); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().HeatedFiles != 4 { // 2 snapshots × 2 tables
+		t.Fatalf("heated files %d", fs.Stats().HeatedFiles)
+	}
+	// Every snapshot file verifies clean.
+	for _, name := range fs.Names() {
+		ino, _ := fs.Lookup(name)
+		st, err := fs.Stat(ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Heated() {
+			reps, err := fs.VerifyFile(name)
+			if err != nil || !reps[0].OK {
+				t.Fatalf("snapshot %s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestApplyComplianceIngest(t *testing.T) {
+	fs := testFS(t, 8192)
+	w := ComplianceIngest{Documents: 12, MaxBlocks: 3, Classes: 3}
+	ops := w.Generate(sim.NewRNG(5))
+	if _, err := Apply(fs, ops); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().HeatedFiles != 12 {
+		t.Fatalf("heated %d of 12 documents", fs.Stats().HeatedFiles)
+	}
+	// Heat-aware clustering by class keeps bimodality at 1.
+	if b := fs.Bimodality(); b != 1 {
+		t.Fatalf("bimodality %g", b)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := DefaultHotCold(10, 50).Generate(sim.NewRNG(7))
+	b := DefaultHotCold(10, 50).Generate(sim.NewRNG(7))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Name != b[i].Name || a[i].Offset != b[i].Offset {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpCreate: "create", OpWrite: "write", OpDelete: "delete",
+		OpHeat: "heat", OpSync: "sync",
+	} {
+		if k.String() != want {
+			t.Errorf("%v", k)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { HotCold{Files: 0, Writes: 1}.Generate(sim.NewRNG(1)) },
+		func() { ComplianceIngest{}.Generate(sim.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,180 @@
+package worm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func record() []byte { return bytes.Repeat([]byte{0xAB}, BlockSize) }
+
+func TestSoftwareWORMHonestPath(t *testing.T) {
+	s := NewSoftwareWORM(8)
+	if err := s.Write(3, record()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(3, record()); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("honest overwrite: %v", err)
+	}
+	// Unfrozen blocks stay writable (scoped freeze).
+	if err := s.Write(4, record()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftwareWORMRawBypass(t *testing.T) {
+	s := NewSoftwareWORM(8)
+	if err := s.Write(3, record()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	forged := bytes.Repeat([]byte{0xEE}, BlockSize)
+	if err := s.RawWrite(3, forged); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read(3)
+	if !bytes.Equal(got, forged) {
+		t.Fatal("raw write did not stick")
+	}
+	if s.Audit().TamperDetected {
+		t.Fatal("software WORM claims detection it cannot have")
+	}
+}
+
+func TestTapeWORMWholeCartridgeOnly(t *testing.T) {
+	s := NewTapeWORM(8)
+	if err := s.Freeze(3, 1); !errors.Is(err, ErrGranularity) {
+		t.Fatalf("scoped freeze: %v", err)
+	}
+	if err := s.Freeze(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, record()); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("write after cartridge flag: %v", err)
+	}
+	// A tampered drive ignores the flag.
+	if err := s.RawWrite(0, record()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpticalWORMWriteOnce(t *testing.T) {
+	s := NewOpticalWORM(8)
+	if err := s.Write(3, record()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(3, record()); !errors.Is(err, ErrWriteOnce) {
+		t.Fatalf("second write: %v", err)
+	}
+	// Physically impossible to overwrite, even raw.
+	if err := s.RawWrite(3, record()); !errors.Is(err, ErrPhysicallyImpossible) {
+		t.Fatalf("raw overwrite: %v", err)
+	}
+	// But unwritten blocks can be forged silently.
+	if err := s.RawWrite(5, record()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Audit().TamperDetected {
+		t.Fatal("optical audit cannot detect appended forgeries")
+	}
+}
+
+func TestFuseWORMAllOrNothing(t *testing.T) {
+	s := NewFuseWORM(8)
+	if err := s.Freeze(2, 2); !errors.Is(err, ErrGranularity) {
+		t.Fatalf("scoped freeze: %v", err)
+	}
+	if err := s.Freeze(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, record()); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("write after fuse: %v", err)
+	}
+	if err := s.RawWrite(1, record()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangeAllStores(t *testing.T) {
+	stores := []Store{
+		NewSoftwareWORM(4), NewTapeWORM(4), NewOpticalWORM(4), NewFuseWORM(4),
+	}
+	for _, s := range stores {
+		if err := s.Write(4, record()); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("%s write: %v", s.Name(), err)
+		}
+		if _, err := s.Read(4); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("%s read: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestUnwrittenBlocksReadZero(t *testing.T) {
+	s := NewSoftwareWORM(4)
+	got, err := s.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestRewriteAttackAllBaselinesUndetected(t *testing.T) {
+	// The point of the baselines: every §2 technology either lets the
+	// rewrite through undetected or resists it without being able to
+	// prove anything.
+	for _, s := range []Store{
+		NewSoftwareWORM(8), NewTapeWORM(8), NewFuseWORM(8),
+	} {
+		r, err := RunRewriteAttack(s, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !r.RewriteSucceeded {
+			t.Errorf("%s resisted the raw rewrite — model wrong", s.Name())
+		}
+		if r.Detected {
+			t.Errorf("%s detected tampering it cannot see", s.Name())
+		}
+	}
+	// Optical resists the overwrite physically, but detects nothing.
+	r, err := RunRewriteAttack(NewOpticalWORM(8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RewriteSucceeded {
+		t.Error("optical medium was overwritten")
+	}
+	if r.Detected {
+		t.Error("optical audit claims detection")
+	}
+}
+
+func TestFlexibilityMatrix(t *testing.T) {
+	// Scoped freezing: software yes, tape no, fuse no.
+	cases := []struct {
+		s      Store
+		scoped bool
+	}{
+		{NewSoftwareWORM(8), true},
+		{NewTapeWORM(8), false},
+		{NewFuseWORM(8), false},
+	}
+	for _, c := range cases {
+		r, err := RunRewriteAttack(c.s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.FreezeScoped != c.scoped {
+			t.Errorf("%s scoped=%v, want %v", c.s.Name(), r.FreezeScoped, c.scoped)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package sero is the public API of the SERO (Selectively Eventually
+// Read-Only) storage library, a reproduction of "Towards
+// Tamper-evident Storage on Patterned Media" (Hartel, Abelmann,
+// Khatib; FAST 2008).
+//
+// A SERO device behaves like an ordinary random-access block device —
+// until selected 2^N-block lines are "heated": a physically
+// irreversible write-once operation that stores a SHA-256 hash of the
+// line in Manchester-coded heated dots. From then on any modification
+// of the line is detectable, while its data blocks remain cheaply
+// readable. Over its life the device migrates from fully rewritable to
+// fully read-only.
+//
+// The simulated device reproduces the paper's physics (dot-level
+// magnetic and electrical operations, analog read signals, annealing
+// behaviour) and its latency contract (electrical reads ≥5× magnetic
+// reads). Open a device, write lines, heat them, verify them:
+//
+//	dev := sero.Open(sero.Options{Blocks: 4096})
+//	start, logN, _ := dev.WriteLine(blocks)
+//	dev.Heat(start, logN)
+//	report, _ := dev.Verify(start)
+//	if report.Tampered() { ... }
+//
+// For a file-system view (log-structured, heat-aware cleaning), see
+// NewFS. For the experiment drivers that regenerate the paper's
+// figures, see cmd/serosim.
+package sero
+
+import (
+	"time"
+
+	"sero/internal/core"
+	"sero/internal/device"
+	"sero/internal/lfs"
+	"sero/internal/medium"
+)
+
+// Options configures a simulated SERO device.
+type Options struct {
+	// Blocks is the number of 512-byte blocks. Required.
+	Blocks int
+	// Quiet disables read noise, residual signals and thermal
+	// crosstalk, making every run bit-deterministic. Default is the
+	// realistic noisy medium.
+	Quiet bool
+	// Seed seeds the medium's noise generator (ignored when Quiet).
+	Seed uint64
+	// ErbRetries tunes the electrical-read retry count (default 8).
+	ErbRetries int
+}
+
+// BlockSize is the data payload of one block, in bytes.
+const BlockSize = device.DataBytes
+
+// Device is a simulated tamper-evident SERO store.
+type Device struct {
+	st *core.Store
+}
+
+// VerifyReport re-exports the device verification outcome.
+type VerifyReport = device.VerifyReport
+
+// LineInfo re-exports heated-line metadata.
+type LineInfo = device.LineInfo
+
+// AuditReport re-exports the whole-store audit outcome.
+type AuditReport = core.AuditReport
+
+// LifecycleStats re-exports the WMRM→RO ageing statistics.
+type LifecycleStats = core.LifecycleStats
+
+// Open creates a simulated SERO device.
+func Open(o Options) *Device {
+	if o.Blocks <= 0 {
+		panic("sero: Options.Blocks must be positive")
+	}
+	p := device.DefaultParams(o.Blocks)
+	if o.ErbRetries > 0 {
+		p.ErbRetries = o.ErbRetries
+	}
+	mp := medium.DefaultParams(o.Blocks, device.DotsPerBlock)
+	if o.Seed != 0 {
+		mp.Seed = o.Seed
+	}
+	if o.Quiet {
+		mp.ReadNoiseSigma = 0
+		mp.ResidualInPlaneSignal = 0
+		mp.ThermalCrosstalk = 0
+	}
+	p.Medium = mp
+	return &Device{st: core.NewStore(device.New(p))}
+}
+
+// Blocks returns the device size in blocks.
+func (d *Device) Blocks() int { return d.st.Device().Blocks() }
+
+// Write stores 512 bytes at the given physical block address.
+func (d *Device) Write(pba uint64, data []byte) error { return d.st.Write(pba, data) }
+
+// Read fetches the 512-byte block at pba.
+func (d *Device) Read(pba uint64) ([]byte, error) { return d.st.Read(pba) }
+
+// WriteLine allocates an aligned line, writes the given blocks into it
+// (zero-padding the slack) and returns its start address and size
+// exponent. Heat it with Heat when it must become tamper-evident.
+func (d *Device) WriteLine(blocks [][]byte) (start uint64, logN uint8, err error) {
+	return d.st.WriteLine(blocks)
+}
+
+// Heat freezes the line at start: its hash is stored in write-once
+// heated dots and the line becomes read-only.
+func (d *Device) Heat(start uint64, logN uint8) (LineInfo, error) {
+	return d.st.Heat(start, logN)
+}
+
+// Verify recomputes the hash of a heated line and compares it with the
+// stored one; any discrepancy is evidence of tampering.
+func (d *Device) Verify(start uint64) (VerifyReport, error) { return d.st.Verify(start) }
+
+// Audit verifies every heated line on the device.
+func (d *Device) Audit() AuditReport { return d.st.Audit() }
+
+// Lines lists the heated lines.
+func (d *Device) Lines() []LineInfo { return d.st.Lines() }
+
+// Recover rebuilds the heated-line registry by scanning the medium —
+// the paper's fsck-style recovery (§5.2); use after reattaching a
+// device with lost host state.
+func (d *Device) Recover() (core.RecoveryReport, error) { return d.st.Recover() }
+
+// Lifecycle reports how far the device has aged toward read-only.
+func (d *Device) Lifecycle() LifecycleStats { return d.st.Lifecycle() }
+
+// ElapsedVirtual returns the simulated time consumed so far; all
+// latency figures in this library are virtual, not wall-clock.
+func (d *Device) ElapsedVirtual() time.Duration { return d.st.Device().Clock().Now() }
+
+// Store exposes the underlying core store for advanced integrations
+// (the archival packages take a *core.Store).
+func (d *Device) Store() *core.Store { return d.st }
+
+// Shred physically destroys the data blocks of a heated line by
+// heating every dot (§8 "Deletion"). The data becomes unrecoverable,
+// but the destruction itself remains permanently evident: the line's
+// record survives as a tombstone and Verify reports it destroyed.
+// Retention policy belongs above this call — see internal/retention
+// for a policy-gated wrapper.
+func (d *Device) Shred(start uint64) (device.ShredReport, error) {
+	return d.st.Device().ShredLine(start)
+}
+
+// SaveImage serialises the device's complete medium state. Host-side
+// metadata is intentionally excluded: the medium is the evidence.
+func (d *Device) SaveImage() []byte { return d.st.Device().SaveImage() }
+
+// LoadImage reattaches a device from an image produced by SaveImage.
+// The heated-line registry is rebuilt by scanning the medium, so a
+// tampered image cannot smuggle in forged host state.
+func LoadImage(img []byte) (*Device, error) {
+	dev, _, err := device.LoadImage(img, device.DefaultParams(0))
+	if err != nil {
+		return nil, err
+	}
+	st := core.NewStore(dev)
+	if _, err := st.Recover(); err != nil {
+		return nil, err
+	}
+	return &Device{st: st}, nil
+}
+
+// FS is a log-structured, heat-aware file system over a SERO device.
+type FS = lfs.FS
+
+// Ino is a file-system inode number.
+type Ino = lfs.Ino
+
+// FSOptions configures NewFS.
+type FSOptions struct {
+	// SegmentBlocks is the LFS segment size (power of two, default
+	// 64).
+	SegmentBlocks int
+	// HeatAware toggles the §4.1 clustering and cleaning policies
+	// (default true).
+	HeatAware bool
+}
+
+// NewFS formats a file system onto a device opened with Open.
+func NewFS(d *Device, o FSOptions) (*FS, error) {
+	p := lfs.DefaultParams()
+	if o.SegmentBlocks > 0 {
+		p.SegmentBlocks = o.SegmentBlocks
+		p.CheckpointBlocks = o.SegmentBlocks
+	}
+	p.HeatAware = o.HeatAware
+	return lfs.New(d.st.Device(), p)
+}
+
+// MountFS reopens a file system previously created by NewFS on the
+// same device.
+func MountFS(d *Device, o FSOptions) (*FS, error) {
+	p := lfs.DefaultParams()
+	if o.SegmentBlocks > 0 {
+		p.SegmentBlocks = o.SegmentBlocks
+		p.CheckpointBlocks = o.SegmentBlocks
+	}
+	p.HeatAware = o.HeatAware
+	return lfs.Mount(d.st.Device(), p)
+}

@@ -1,0 +1,164 @@
+package sero
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOpenWriteHeatVerify(t *testing.T) {
+	d := Open(Options{Blocks: 256, Quiet: true})
+	blocks := [][]byte{
+		bytes.Repeat([]byte{1}, BlockSize),
+		bytes.Repeat([]byte{2}, BlockSize),
+		bytes.Repeat([]byte{3}, BlockSize),
+	}
+	start, logN, err := d.WriteLine(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Heat(start, logN); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Verify(start)
+	if err != nil || !rep.OK {
+		t.Fatalf("verify %+v %v", rep, err)
+	}
+	got, err := d.Read(start + 1)
+	if err != nil || !bytes.Equal(got, blocks[0]) {
+		t.Fatalf("read-back: %v", err)
+	}
+	if len(d.Lines()) != 1 {
+		t.Fatal("line registry")
+	}
+	audit := d.Audit()
+	if !audit.Clean() {
+		t.Fatalf("audit: %s", audit.Summary())
+	}
+	if d.ElapsedVirtual() == 0 {
+		t.Fatal("no virtual time consumed")
+	}
+}
+
+func TestNoisyDeviceWorks(t *testing.T) {
+	d := Open(Options{Blocks: 64, Seed: 99})
+	data := bytes.Repeat([]byte{0xAB}, BlockSize)
+	if err := d.Write(5, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(5)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("noisy read: %v", err)
+	}
+}
+
+func TestFSFacade(t *testing.T) {
+	d := Open(Options{Blocks: 1024, Quiet: true})
+	fs, err := NewFS(d, FSOptions{SegmentBlocks: 32, HeatAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino, err := fs.Create("report.pdf", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("audit "), 200)
+	if err := fs.WriteFile(ino, content); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.HeatFile("report.pdf"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(ino)
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("read after heat: %v", err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := MountFS(d, FSOptions{SegmentBlocks: 32, HeatAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs2.ReadFile(ino)
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("read after mount: %v", err)
+	}
+}
+
+func TestRecoverFacade(t *testing.T) {
+	d := Open(Options{Blocks: 128, Quiet: true})
+	start, logN, err := d.WriteLine([][]byte{bytes.Repeat([]byte{7}, BlockSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := d.Heat(start, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Recover()
+	if err != nil || !rep.Clean() || len(rep.Lines) != 1 {
+		t.Fatalf("recover %+v %v", rep, err)
+	}
+	if rep.Lines[0].Record.Hash != li.Record.Hash {
+		t.Fatal("hash mismatch after recover")
+	}
+}
+
+func TestLifecycleFacade(t *testing.T) {
+	d := Open(Options{Blocks: 64, Quiet: true})
+	st := d.Lifecycle()
+	if st.TotalBlocks != 64 || st.ReadOnlyRatio != 0 {
+		t.Fatalf("lifecycle %+v", st)
+	}
+}
+
+func TestOpenPanicsWithoutBlocks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Open(Options{})
+}
+
+func TestFacadeShredAndImage(t *testing.T) {
+	d := Open(Options{Blocks: 128, Quiet: true})
+	start, logN, err := d.WriteLine([][]byte{bytes.Repeat([]byte{5}, BlockSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Heat(start, logN); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Shred(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DotsDestroyed == 0 {
+		t.Fatal("shred destroyed nothing")
+	}
+	vr, err := d.Verify(start)
+	if err != nil || vr.OK {
+		t.Fatalf("shredded line verifies clean: %v", err)
+	}
+
+	img := d.SaveImage()
+	d2, err := LoadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Lines()) != 1 {
+		t.Fatal("tombstone lost across image")
+	}
+	vr, err = d2.Verify(start)
+	if err != nil || vr.OK {
+		t.Fatalf("shred evidence lost across image: %v", err)
+	}
+}
+
+func TestFacadeLoadImageGarbage(t *testing.T) {
+	if _, err := LoadImage([]byte("not an image")); err == nil {
+		t.Fatal("garbage image loaded")
+	}
+}
