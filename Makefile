@@ -1,0 +1,33 @@
+# CI entry points. `make ci` is what a pipeline should run; the
+# individual targets exist for local iteration.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency suite (device stripes, parallel audit/scan, the core
+# stress test) must stay clean under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Audit fan-out family plus the paper's figure/experiment benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkAudit -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+
+# Short fuzz pass over the image loader (the §5.2 trust boundary).
+fuzz:
+	$(GO) test -run FuzzLoadImage -fuzz FuzzLoadImage -fuzztime 20s .
+
+ci: build vet test race

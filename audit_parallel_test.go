@@ -1,0 +1,49 @@
+package sero
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestAuditParallelContract verifies the acceptance contract of the
+// sharded verification engine at scale: on a device with >= 1024
+// heated lines, an 8-way audit returns a report byte-identical to the
+// serial one and consumes at most 1/3 of its virtual time.
+func TestAuditParallelContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-line audit is not short")
+	}
+	const lines = 1024
+	d := Open(Options{Blocks: 2 * lines, Quiet: true})
+	blk := make([]byte, BlockSize)
+	for i := 0; i < lines; i++ {
+		copy(blk, fmt.Sprintf("contract line %d", i))
+		start, logN, err := d.WriteLine([][]byte{blk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Heat(start, logN); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t0 := d.ElapsedVirtual()
+	serial := d.AuditParallel(1)
+	serialVirt := d.ElapsedVirtual() - t0
+
+	t1 := d.ElapsedVirtual()
+	parallel := d.AuditParallel(8)
+	parallelVirt := d.ElapsedVirtual() - t1
+
+	if !serial.Clean() || len(serial.Reports) != lines {
+		t.Fatalf("serial audit wrong: clean=%v lines=%d", serial.Clean(), len(serial.Reports))
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("8-way audit report differs from serial")
+	}
+	if parallelVirt*3 > serialVirt {
+		t.Fatalf("8-way audit virtual time %v not >=3x faster than serial %v",
+			parallelVirt, serialVirt)
+	}
+}

@@ -7,7 +7,10 @@ package sero
 // `go test -bench=. -benchmem` reproduces the whole evaluation.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"sero/internal/experiments"
 	"sero/internal/physics"
@@ -299,6 +302,72 @@ func BenchmarkDeviceHeatLine(b *testing.B) {
 		}
 	}
 }
+
+// Parallel-audit benchmarks: wall-clock and virtual-time cost of
+// auditing a device with 1024 heated lines at different fan-out
+// widths. On a multicore host the wall-clock speedup tracks the worker
+// count (the per-line physics and hashing dominate and run in
+// parallel); the virt-ms/audit metric shows the deterministic
+// virtual-time contract (max of per-worker elapsed) on any host.
+
+var auditBench struct {
+	once sync.Once
+	dev  *Device
+	err  error
+}
+
+const auditBenchLines = 1024
+
+// auditBenchDevice lazily builds one shared device with 1024 heated
+// two-block lines; audits are read-only, so every benchmark in the
+// family reuses it.
+func auditBenchDevice(b *testing.B) *Device {
+	b.Helper()
+	auditBench.once.Do(func() {
+		d := Open(Options{Blocks: 2 * auditBenchLines, Quiet: true})
+		blk := make([]byte, BlockSize)
+		for i := 0; i < auditBenchLines; i++ {
+			copy(blk, fmt.Sprintf("audit bench line %d", i))
+			start, logN, err := d.WriteLine([][]byte{blk})
+			if err != nil {
+				auditBench.err = err
+				return
+			}
+			if _, err := d.Heat(start, logN); err != nil {
+				auditBench.err = err
+				return
+			}
+		}
+		auditBench.dev = d
+	})
+	if auditBench.err != nil {
+		b.Fatal(auditBench.err)
+	}
+	return auditBench.dev
+}
+
+func benchmarkAudit(b *testing.B, workers int) {
+	d := auditBenchDevice(b)
+	b.ResetTimer()
+	var virt time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := d.ElapsedVirtual()
+		rep := d.AuditParallel(workers)
+		virt = d.ElapsedVirtual() - t0
+		if !rep.Clean() {
+			b.Fatal("audit found tampering on a pristine device")
+		}
+		if len(rep.Reports) != auditBenchLines {
+			b.Fatalf("audit covered %d lines, want %d", len(rep.Reports), auditBenchLines)
+		}
+	}
+	b.ReportMetric(virt.Seconds()*1e3, "virt-ms/audit")
+}
+
+func BenchmarkAuditSerial(b *testing.B)    { benchmarkAudit(b, 1) }
+func BenchmarkAuditParallel2(b *testing.B) { benchmarkAudit(b, 2) }
+func BenchmarkAuditParallel4(b *testing.B) { benchmarkAudit(b, 4) }
+func BenchmarkAuditParallel8(b *testing.B) { benchmarkAudit(b, 8) }
 
 func BenchmarkDeviceVerifyLine(b *testing.B) {
 	d := newBenchDevice(b, 8)

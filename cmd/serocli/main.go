@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	serocli [-blocks N]
+//	serocli [-blocks N] [-j workers]
 package main
 
 import (
@@ -20,15 +20,16 @@ import (
 
 func main() {
 	blocks := flag.Int("blocks", 2048, "device size in 512-byte blocks")
+	workers := flag.Int("j", 1, "audit concurrency (worker count; 1 = serial)")
 	flag.Parse()
-	if err := run(*blocks); err != nil {
+	if err := run(*blocks, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "serocli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blocks int) error {
-	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true})
+func run(blocks int, workers int) error {
+	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
 	fs, err := sero.NewFS(dev, sero.FSOptions{SegmentBlocks: 32, HeatAware: true})
 	if err != nil {
 		return err

@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestRunTour(t *testing.T) {
-	if err := run(2048); err != nil {
+	if err := run(2048, 2); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	serofsck [-blocks N] [-attack none|wipe|erase]
+//	serofsck [-blocks N] [-attack none|wipe|erase] [-j workers]
 package main
 
 import (
@@ -21,16 +21,17 @@ import (
 func main() {
 	blocks := flag.Int("blocks", 1024, "device size in 512-byte blocks")
 	attackMode := flag.String("attack", "wipe", "attacker action before the scan: none, wipe, erase")
+	workers := flag.Int("j", 1, "scan/audit concurrency (worker count; 1 = serial)")
 	flag.Parse()
 
-	if err := run(*blocks, *attackMode); err != nil {
+	if err := run(*blocks, *attackMode, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "serofsck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blocks int, attackMode string) error {
-	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true})
+func run(blocks int, attackMode string, workers int) error {
+	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
 
 	// Populate: three heated lines of compliance records.
 	for i := 0; i < 3; i++ {

@@ -4,14 +4,14 @@ import "testing"
 
 func TestRunAllAttackModes(t *testing.T) {
 	for _, mode := range []string{"none", "wipe", "erase"} {
-		if err := run(256, mode); err != nil {
+		if err := run(256, mode, 4); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
 	}
 }
 
 func TestRunUnknownMode(t *testing.T) {
-	if err := run(256, "meteor"); err == nil {
+	if err := run(256, "meteor", 1); err == nil {
 		t.Fatal("unknown attack mode accepted")
 	}
 }

@@ -1,0 +1,55 @@
+package sero
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// TestExamplesBuildAndRun compiles every program under examples/ and
+// runs it, asserting a zero exit status. The examples are the package
+// documentation users actually execute, so they stay green with the
+// API or this test fails the build.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building examples is not short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no example programs found")
+	}
+	binDir := t.TempDir()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			if runtime.GOOS == "windows" {
+				bin += ".exe"
+			}
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			run := exec.Command(bin)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example exited non-zero: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

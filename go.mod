@@ -1,0 +1,3 @@
+module sero
+
+go 1.24

@@ -20,6 +20,13 @@ type Scrubber struct {
 	// Interval is the virtual time between audit passes.
 	Interval time.Duration
 
+	// Concurrency is the worker count each audit pass fans out over
+	// (0 means the device's configured Concurrency, 1 means serial).
+	// Parallel passes detect tampering after less virtual time per
+	// pass — the device clock advances by the slowest worker instead
+	// of the whole-audit sum — at the cost of occupying that many
+	// verification planes.
+	Concurrency int
 	// OnTamper is invoked (once) when an audit first finds tampering;
 	// the scrubber keeps running afterwards unless StopOnDetect is
 	// set.
@@ -70,7 +77,7 @@ func (s *Scrubber) pass() {
 	}
 	clock := s.st.Device().Clock()
 	t0 := clock.Now()
-	rep := s.st.Audit()
+	rep := s.st.AuditParallel(s.Concurrency)
 	s.stats.Audits++
 	s.stats.AuditTime += clock.Now() - t0
 	if !rep.Clean() {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sero/internal/device"
@@ -12,16 +13,23 @@ import (
 // Store is the SERO store: a device plus the policy that turns its six
 // sector operations into a safe WMRM+WO service. The zero value is not
 // usable; construct with NewStore.
+//
+// The store is safe for concurrent use and no longer serialises client
+// traffic behind one mutex: block and line I/O goes straight to the
+// device, which shards its locking by line region, so operations on
+// distinct lines proceed in parallel. The heated-line registry lives
+// in the device (the authoritative view, shared with other clients of
+// the same device such as the file-system layer); the store's own
+// lock only covers the allocator.
 type Store struct {
-	mu  sync.Mutex
 	dev *device.Device
-	al  *Allocator
 
-	// lines tracks heated lines by start block.
-	lines map[uint64]device.LineInfo
+	// alMu guards the allocator.
+	alMu sync.Mutex
+	al   *Allocator
 
 	// epoch counts heat operations, for audit ordering.
-	epoch uint64
+	epoch atomic.Uint64
 }
 
 // Store-level errors.
@@ -37,36 +45,39 @@ var (
 // NewStore wraps a device.
 func NewStore(dev *device.Device) *Store {
 	return &Store{
-		dev:   dev,
-		al:    NewAllocator(dev.Blocks()),
-		lines: make(map[uint64]device.LineInfo),
+		dev: dev,
+		al:  NewAllocator(dev.Blocks()),
 	}
 }
 
 // Device exposes the underlying device (read-only use: clocks, stats).
 func (s *Store) Device() *device.Device { return s.dev }
 
+// Concurrency returns the device's configured fan-out width, which
+// Audit and Recover use by default.
+func (s *Store) Concurrency() int { return s.dev.Concurrency() }
+
 // Alloc reserves n blocks with the given alignment and returns the
 // first PBA.
 func (s *Store) Alloc(n, align int) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.alMu.Lock()
+	defer s.alMu.Unlock()
 	return s.al.AllocAligned(n, align)
 }
 
 // AllocLine reserves a properly aligned line of 1<<logN blocks.
 func (s *Store) AllocLine(logN uint8) (uint64, error) {
 	n := 1 << logN
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.alMu.Lock()
+	defer s.alMu.Unlock()
 	return s.al.AllocAligned(n, n)
 }
 
 // Release returns an unheated run to the free pool.
 func (s *Store) Release(start uint64, n int) error {
 	lines := s.dev.Lines()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.alMu.Lock()
+	defer s.alMu.Unlock()
 	for _, li := range lines {
 		if start < li.End() && li.Start < start+uint64(n) {
 			return fmt.Errorf("%w: [%d,%d)", ErrLineHeated, li.Start, li.End())
@@ -130,10 +141,7 @@ func (s *Store) Heat(start uint64, logN uint8) (device.LineInfo, error) {
 	if err != nil {
 		return device.LineInfo{}, err
 	}
-	s.mu.Lock()
-	s.lines[start] = li
-	s.epoch++
-	s.mu.Unlock()
+	s.epoch.Add(1)
 	return li, nil
 }
 
@@ -149,15 +157,15 @@ func (s *Store) Lines() []device.LineInfo {
 
 // Recover rebuilds the store's state from the medium (device Scan),
 // reserving recovered lines in the allocator. It returns the audit
-// report of the scan.
+// report of the scan. The scan itself fans out over the device's
+// configured Concurrency.
 func (s *Store) Recover() (RecoveryReport, error) {
 	recovered, unparseable, err := s.dev.Scan()
 	if err != nil {
 		return RecoveryReport{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.lines = make(map[uint64]device.LineInfo)
+	s.alMu.Lock()
+	defer s.alMu.Unlock()
 	s.al = NewAllocator(s.dev.Blocks())
 	rep := RecoveryReport{Unparseable: unparseable}
 	for _, li := range recovered {
@@ -165,7 +173,6 @@ func (s *Store) Recover() (RecoveryReport, error) {
 			rep.Conflicts = append(rep.Conflicts, li.Start)
 			continue
 		}
-		s.lines[li.Start] = li
 		rep.Lines = append(rep.Lines, li)
 	}
 	return rep, nil
@@ -208,8 +215,8 @@ type LifecycleStats struct {
 // the file system layer).
 func (s *Store) Lifecycle() LifecycleStats {
 	lines := s.dev.Lines()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.alMu.Lock()
+	defer s.alMu.Unlock()
 	heated := 0
 	for _, li := range lines {
 		heated += int(li.Blocks())
@@ -221,7 +228,7 @@ func (s *Store) Lifecycle() LifecycleStats {
 		ReadOnlyRatio:  float64(heated) / float64(s.al.Total()),
 		Fragmentation:  s.al.FragmentationIndex(),
 		LargestFreeRun: s.al.LargestFree(),
-		HeatEpoch:      s.epoch,
+		HeatEpoch:      s.epoch.Load(),
 		VirtualTime:    s.dev.Clock().Now(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sero/internal/medium"
@@ -55,6 +56,12 @@ type Params struct {
 	// missing a heated dot toward zero (experiment E7).
 	ErbRetries int
 
+	// Concurrency is the default worker count for fan-out operations
+	// (VerifyLines, Scan). 0 or 1 means serial, keeping the paper's
+	// single-sled virtual-time model: a pass costs the sum of its
+	// per-line work.
+	Concurrency int
+
 	// Medium overrides the medium parameters; zero value means
 	// derived defaults.
 	Medium medium.Params
@@ -74,16 +81,43 @@ func DefaultParams(blocks int) Params {
 	return Params{Blocks: blocks, ErbRetries: 8}
 }
 
-// Device is a simulated SERO probe-storage device. It is safe for
-// concurrent use; operations are serialised internally, matching the
-// single mechanical sled of the hardware.
-type Device struct {
-	mu sync.Mutex
+// Region-lock geometry. Blocks are grouped into regions of
+// 1<<regionShiftBits blocks; each region hashes onto one of lockStripes
+// stripe locks. Operations lock the stripes covering their block range
+// in ascending stripe order, so any two overlapping ranges contend on
+// at least one common stripe while disjoint ranges (distinct lines)
+// proceed in parallel.
+const (
+	regionShiftBits = 4
+	lockStripes     = 64
+)
 
+// Device is a simulated SERO probe-storage device. It is safe for
+// concurrent use: operations on disjoint line regions run in parallel
+// under striped region locks, while whole-medium operations (Scan,
+// SaveImage) briefly exclude everything. See the package comment of
+// package sero for the full concurrency contract.
+type Device struct {
 	p     Params
 	med   *medium.Medium
 	arr   *probe.Array
 	clock *sim.Clock
+
+	// Resolved timing/geometry, kept for building verification planes.
+	timing probe.Timing
+	geo    probe.Geometry
+
+	// gate serialises whole-medium operations against per-region
+	// traffic: block and line operations hold gate.RLock, Scan and
+	// SaveImage hold gate.Lock.
+	gate sync.RWMutex
+
+	// stripes are the per-region locks (see regionShiftBits above).
+	stripes [lockStripes]sync.Mutex
+
+	// regMu guards the registry maps below. Lock ordering: a stripe
+	// lock may be held when acquiring regMu, never the reverse.
+	regMu sync.RWMutex
 
 	// heated caches which blocks have been electrically written, so
 	// the device can enforce the read protocol ("magnetically written
@@ -99,7 +133,77 @@ type Device struct {
 	// lines is the registry of heated lines, keyed by start PBA.
 	lines map[uint64]LineInfo
 
-	stats OpStats
+	// xtalkSpan is how many blocks an electrical write's thermal
+	// crosstalk can reach past the written block: EWB pulses the four
+	// dot neighbours at i±1 and i±Cols, so with the medium's row
+	// width of Cols dots the farthest disturbed dot is
+	// ceil(Cols/DotsPerBlock) blocks away (1 for the standard
+	// one-row-per-block layout).
+	xtalkSpan uint64
+
+	// arrMu guards the shared probe array: the actuator position is
+	// one piece of mechanical state, so latency charges against it are
+	// serialised even when the data-path work runs in parallel.
+	arrMu sync.Mutex
+
+	statsMu sync.Mutex
+	stats   OpStats
+
+	// fg is the device's foreground latency plane: the shared probe
+	// array, the device clock and the device stats.
+	fg plane
+
+	// conc is the default fan-out width for VerifyLines and Scan.
+	conc atomic.Int32
+}
+
+// plane is one independent latency-accounting context: a probe array
+// (actuator position) plus the clock it advances and the stats it
+// accumulates. The foreground plane is shared by all client operations
+// and guarded by arrMu; verification workers get private planes whose
+// clocks start at zero, so the fan-out engine can advance the device
+// clock by the *maximum* per-worker elapsed time — the virtual-time
+// model of parallel verification hardware.
+type plane struct {
+	arr    *probe.Array
+	clock  *sim.Clock
+	stats  *OpStats
+	shared bool
+}
+
+// charge applies f to the plane's probe array and returns the virtual
+// time it consumed. For the shared foreground plane the array mutex is
+// held across the charge, so the stopwatch observes only this
+// operation's advance.
+func (pl *plane) charge(d *Device, f func(*probe.Array)) time.Duration {
+	if pl.shared {
+		d.arrMu.Lock()
+		defer d.arrMu.Unlock()
+	}
+	sw := sim.NewStopwatch(pl.clock)
+	f(pl.arr)
+	return sw.Elapsed()
+}
+
+// record applies f to the plane's stats, locking when the plane is the
+// shared foreground one.
+func (pl *plane) record(d *Device, f func(*OpStats)) {
+	if pl.shared {
+		d.statsMu.Lock()
+		defer d.statsMu.Unlock()
+	}
+	f(pl.stats)
+}
+
+// newPlane builds a private verification plane: its own probe array on
+// its own zeroed clock, accumulating into its own stats.
+func (d *Device) newPlane() *plane {
+	clock := &sim.Clock{}
+	return &plane{
+		arr:   probe.NewArray(d.timing, d.geo, d.med.Params().PitchNM, clock),
+		clock: clock,
+		stats: &OpStats{},
+	}
 }
 
 // OpStats counts sector-level operations and their virtual-time cost.
@@ -115,6 +219,21 @@ type OpStats struct {
 	MagneticWriteNS time.Duration
 	ElectricReadNS  time.Duration
 	ElectricWriteNS time.Duration
+}
+
+// add accumulates other into s.
+func (s *OpStats) add(other *OpStats) {
+	s.MagneticReads += other.MagneticReads
+	s.MagneticWrites += other.MagneticWrites
+	s.ElectricReads += other.ElectricReads
+	s.ElectricWrites += other.ElectricWrites
+	s.HeatLines += other.HeatLines
+	s.VerifyLines += other.VerifyLines
+	s.CorrectedBytes += other.CorrectedBytes
+	s.MagneticReadNS += other.MagneticReadNS
+	s.MagneticWriteNS += other.MagneticWriteNS
+	s.ElectricReadNS += other.ElectricReadNS
+	s.ElectricWriteNS += other.ElectricWriteNS
 }
 
 // Errors returned by Device operations.
@@ -162,14 +281,22 @@ func New(p Params) *Device {
 		p:      p,
 		med:    medium.New(mp),
 		clock:  clock,
+		timing: t,
+		geo:    g,
 		heated: make(map[uint64]bool),
 		bad:    make(map[uint64]bool),
 		lines:  make(map[uint64]LineInfo),
+	}
+	d.xtalkSpan = uint64((mp.Cols + DotsPerBlock - 1) / DotsPerBlock)
+	if d.xtalkSpan < 1 {
+		d.xtalkSpan = 1
 	}
 	// The probe array's addressable capacity may be smaller than the
 	// medium in scaled-down test configurations; the array is used for
 	// latency accounting over a wrapped index space.
 	d.arr = probe.NewArray(t, g, mp.PitchNM, clock)
+	d.fg = plane{arr: d.arr, clock: d.clock, stats: &d.stats, shared: true}
+	d.SetConcurrency(p.Concurrency)
 	return d
 }
 
@@ -184,24 +311,44 @@ func (d *Device) Clock() *sim.Clock { return d.clock }
 // layer must not touch it.
 func (d *Device) Medium() *medium.Medium { return d.med }
 
+// Concurrency returns the default fan-out width for VerifyLines and
+// Scan.
+func (d *Device) Concurrency() int { return int(d.conc.Load()) }
+
+// SetConcurrency sets the default fan-out width; values below 1 are
+// clamped to 1 (serial).
+func (d *Device) SetConcurrency(k int) {
+	if k < 1 {
+		k = 1
+	}
+	d.conc.Store(int32(k))
+}
+
 // Stats returns a copy of the operation counters.
 func (d *Device) Stats() OpStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
 	return d.stats
 }
 
 // ResetStats zeroes the counters.
 func (d *Device) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
 	d.stats = OpStats{}
+}
+
+// mergeStats folds a private plane's counters into the device stats.
+func (d *Device) mergeStats(other *OpStats) {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	d.stats.add(other)
 }
 
 // dotBase returns the first dot index of block pba.
 func (d *Device) dotBase(pba uint64) int { return int(pba) * DotsPerBlock }
 
-// chargeDots maps a block's dot range into the probe array's index
+// chargeIndex maps a block's dot range into the probe array's index
 // space for latency accounting.
 func (d *Device) chargeIndex(first int) int {
 	cap := d.arr.Capacity()
@@ -215,17 +362,81 @@ func (d *Device) checkPBA(pba uint64) error {
 	return nil
 }
 
-// MWS magnetically writes 512 bytes of data to block pba (the paper's
-// mws). Writing to a heated or bad block fails.
-func (d *Device) MWS(pba uint64, data []byte) error {
-	if len(data) != DataBytes {
-		return fmt.Errorf("device: MWS payload %d bytes, want %d", len(data), DataBytes)
+// lockBlock acquires the single stripe covering block pba and returns
+// its index for unlockBlock. This is the allocation-free fast path
+// for single-block operations, the hottest locking pattern.
+func (d *Device) lockBlock(pba uint64) int {
+	s := int((pba >> regionShiftBits) % lockStripes)
+	d.stripes[s].Lock()
+	return s
+}
+
+// unlockBlock releases a stripe acquired by lockBlock.
+func (d *Device) unlockBlock(s int) { d.stripes[s].Unlock() }
+
+// lockRange acquires the stripe locks covering blocks [start, end) in
+// ascending stripe order — the single global order that keeps
+// multi-stripe acquisition deadlock-free — and returns the locked
+// stripe indices for unlockRange.
+func (d *Device) lockRange(start, end uint64) []int {
+	r0 := start >> regionShiftBits
+	r1 := (end - 1) >> regionShiftBits
+	var idx []int
+	if r1-r0+1 >= lockStripes {
+		idx = make([]int, lockStripes)
+		for i := range idx {
+			idx[i] = i
+		}
+	} else {
+		seen := [lockStripes]bool{}
+		for r := r0; r <= r1; r++ {
+			s := int(r % lockStripes)
+			if !seen[s] {
+				seen[s] = true
+				idx = append(idx, s)
+			}
+		}
+		sort.Ints(idx)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.checkPBA(pba); err != nil {
-		return err
+	for _, s := range idx {
+		d.stripes[s].Lock()
 	}
+	return idx
+}
+
+// unlockRange releases stripes acquired by lockRange.
+func (d *Device) unlockRange(idx []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		d.stripes[idx[i]].Unlock()
+	}
+}
+
+// lockCrosstalkRange locks the stripes for a range that will be
+// written *electrically*: heating a dot thermally disturbs its
+// immediate dot neighbours, which live up to xtalkSpan blocks away
+// (exactly the adjacent blocks for the standard one-row-per-block
+// layout), so the locked range is widened by that many blocks on each
+// side (clamped to the device).
+func (d *Device) lockCrosstalkRange(start, end uint64) []int {
+	if start > d.xtalkSpan {
+		start -= d.xtalkSpan
+	} else {
+		start = 0
+	}
+	if end+d.xtalkSpan < uint64(d.p.Blocks) {
+		end += d.xtalkSpan
+	} else {
+		end = uint64(d.p.Blocks)
+	}
+	return d.lockRange(start, end)
+}
+
+// magWriteCheck reports why block pba cannot be magnetically written
+// (heated, bad, or inside a heated line). Caller holds the block's
+// stripe lock.
+func (d *Device) magWriteCheck(pba uint64) error {
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
 	if d.heated[pba] {
 		return fmt.Errorf("%w: %d", ErrHeatedBlock, pba)
 	}
@@ -239,19 +450,60 @@ func (d *Device) MWS(pba uint64, data []byte) error {
 		// caught by VerifyLine.
 		return fmt.Errorf("%w: %d is inside a heated line", ErrHeatedBlock, pba)
 	}
+	return nil
+}
+
+// magReadCheck reports why block pba cannot be magnetically read.
+func (d *Device) magReadCheck(pba uint64) error {
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
+	if d.heated[pba] {
+		return fmt.Errorf("%w: %d", ErrHeatedBlock, pba)
+	}
+	if d.bad[pba] {
+		return fmt.Errorf("%w: %d", ErrBadBlock, pba)
+	}
+	return nil
+}
+
+// MWS magnetically writes 512 bytes of data to block pba (the paper's
+// mws). Writing to a heated or bad block fails.
+func (d *Device) MWS(pba uint64, data []byte) error {
+	if len(data) != DataBytes {
+		return fmt.Errorf("device: MWS payload %d bytes, want %d", len(data), DataBytes)
+	}
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	if err := d.checkPBA(pba); err != nil {
+		return err
+	}
+	locked := d.lockBlock(pba)
+	defer d.unlockBlock(locked)
+	if err := d.magWriteCheck(pba); err != nil {
+		return err
+	}
+	d.mwsOn(&d.fg, pba, data)
+	return nil
+}
+
+// mwsOn performs the magnetic sector write on the given plane. Caller
+// holds the gate read lock and the block's stripe lock and has passed
+// magWriteCheck.
+func (d *Device) mwsOn(pl *plane, pba uint64, data []byte) {
 	f := Frame{PBA: pba, Flags: FlagData}
 	copy(f.Data[:], data)
-	img := f.Marshal()
-	bits := bytesToBits(img)
+	bits := bytesToBits(f.Marshal())
 	base := d.dotBase(pba)
-	sw := sim.NewStopwatch(d.clock)
-	d.arr.ChargeMagneticWrite(d.chargeIndex(base), len(bits))
+	elapsed := pl.charge(d, func(a *probe.Array) {
+		a.ChargeMagneticWrite(d.chargeIndex(base), len(bits))
+	})
 	for i, b := range bits {
 		d.med.MWB(base+i, b)
 	}
-	d.stats.MagneticWrites++
-	d.stats.MagneticWriteNS += sw.Elapsed()
-	return nil
+	pl.record(d, func(st *OpStats) {
+		st.MagneticWrites++
+		st.MagneticWriteNS += elapsed
+	})
 }
 
 // MRS magnetically reads block pba (the paper's mrs), returning the
@@ -260,37 +512,48 @@ func (d *Device) MWS(pba uint64, data []byte) error {
 // block surfaces as ErrUncorrectable, after which the caller should
 // probe with ERS.
 func (d *Device) MRS(pba uint64) ([]byte, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.mrsLocked(pba)
-}
-
-func (d *Device) mrsLocked(pba uint64) ([]byte, error) {
+	d.gate.RLock()
+	defer d.gate.RUnlock()
 	if err := d.checkPBA(pba); err != nil {
 		return nil, err
 	}
-	if d.heated[pba] {
-		return nil, fmt.Errorf("%w: %d", ErrHeatedBlock, pba)
+	locked := d.lockBlock(pba)
+	defer d.unlockBlock(locked)
+	if err := d.magReadCheck(pba); err != nil {
+		return nil, err
 	}
-	if d.bad[pba] {
-		return nil, fmt.Errorf("%w: %d", ErrBadBlock, pba)
+	buf := make([]byte, DataBytes)
+	if _, err := d.mrsInto(&d.fg, pba, buf); err != nil {
+		return nil, err
 	}
+	return buf, nil
+}
+
+// mrsInto magnetically reads block pba into dst (DataBytes long) on the
+// given plane, returning the corrected byte count. Caller holds the
+// gate read lock and the block's stripe lock and has passed
+// magReadCheck.
+func (d *Device) mrsInto(pl *plane, pba uint64, dst []byte) (int, error) {
 	base := d.dotBase(pba)
-	sw := sim.NewStopwatch(d.clock)
-	d.arr.ChargeMagneticRead(d.chargeIndex(base), DotsPerBlock)
+	elapsed := pl.charge(d, func(a *probe.Array) {
+		a.ChargeMagneticRead(d.chargeIndex(base), DotsPerBlock)
+	})
 	bits := make([]bool, DotsPerBlock)
 	for i := range bits {
 		bits[i] = d.med.MRB(base + i)
 	}
-	d.stats.MagneticReads++
-	d.stats.MagneticReadNS += sw.Elapsed()
 	img := bitsToBytes(bits)
 	f, corrected, err := UnmarshalFrame(img, pba)
-	d.stats.CorrectedBytes += uint64(corrected)
+	pl.record(d, func(st *OpStats) {
+		st.MagneticReads++
+		st.MagneticReadNS += elapsed
+		st.CorrectedBytes += uint64(corrected)
+	})
 	if err != nil {
-		return nil, err
+		return corrected, err
 	}
-	return f.Data[:], nil
+	copy(dst, f.Data[:])
+	return corrected, nil
 }
 
 // EWS electrically writes payload into block pba's data region using
@@ -303,9 +566,31 @@ func (d *Device) EWS(pba uint64, payload []byte) error {
 		return fmt.Errorf("device: EWS payload %d bytes does not fit %d dots",
 			len(payload), DataRegionDots)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.ewsLocked(pba, payload)
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	if err := d.checkPBA(pba); err != nil {
+		return err
+	}
+	locked := d.lockCrosstalkRange(pba, pba+1)
+	defer d.unlockRange(locked)
+	if err := d.ewsCheck(pba); err != nil {
+		return err
+	}
+	d.ewsOn(&d.fg, pba, payload)
+	d.regMu.Lock()
+	d.heated[pba] = true
+	d.regMu.Unlock()
+	return nil
+}
+
+// ewsCheck reports why block pba cannot be electrically written.
+func (d *Device) ewsCheck(pba uint64) error {
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
+	if d.bad[pba] {
+		return fmt.Errorf("%w: %d", ErrBadBlock, pba)
+	}
+	return nil
 }
 
 // codingDots returns the dot footprint of n payload bytes under the
@@ -317,13 +602,10 @@ func (d *Device) codingDots(n int) int {
 	return manchesterDots(n)
 }
 
-func (d *Device) ewsLocked(pba uint64, payload []byte) error {
-	if err := d.checkPBA(pba); err != nil {
-		return err
-	}
-	if d.bad[pba] {
-		return fmt.Errorf("%w: %d", ErrBadBlock, pba)
-	}
+// ewsOn performs the electrical sector write on the given plane.
+// Caller holds the gate read lock and the crosstalk-widened stripe
+// locks and has passed ewsCheck; caller also updates the heated cache.
+func (d *Device) ewsOn(pl *plane, pba uint64, payload []byte) {
 	var flags []bool
 	if d.p.Coding == CodingWOM {
 		flags = womEncode(payload)
@@ -331,19 +613,24 @@ func (d *Device) ewsLocked(pba uint64, payload []byte) error {
 		flags = manchesterEncode(payload)
 	}
 	base := d.dotBase(pba) + headerDotOffset()
-	sw := sim.NewStopwatch(d.clock)
 	heatCount := 0
-	for i, f := range flags {
+	for _, f := range flags {
 		if f {
-			d.med.EWB(base + i)
 			heatCount++
 		}
 	}
-	d.arr.ChargeElectricWrite(d.chargeIndex(base), heatCount)
-	d.heated[pba] = true
-	d.stats.ElectricWrites++
-	d.stats.ElectricWriteNS += sw.Elapsed()
-	return nil
+	elapsed := pl.charge(d, func(a *probe.Array) {
+		a.ChargeElectricWrite(d.chargeIndex(base), heatCount)
+	})
+	for i, f := range flags {
+		if f {
+			d.med.EWB(base + i)
+		}
+	}
+	pl.record(d, func(st *OpStats) {
+		st.ElectricWrites++
+		st.ElectricWriteNS += elapsed
+	})
 }
 
 // ERS electrically reads block pba's data region (the paper's ers): the
@@ -351,28 +638,36 @@ func (d *Device) ewsLocked(pba uint64, payload []byte) error {
 // Manchester data. The returned report carries the decoded payload and
 // any tampered (HH) or unused (UU) cells.
 func (d *Device) ERS(pba uint64, payloadLen int) (ERSReport, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.ersLocked(pba, payloadLen)
-}
-
-func (d *Device) ersLocked(pba uint64, payloadLen int) (ERSReport, error) {
+	d.gate.RLock()
+	defer d.gate.RUnlock()
 	if err := d.checkPBA(pba); err != nil {
 		return ERSReport{}, err
 	}
+	locked := d.lockBlock(pba)
+	defer d.unlockBlock(locked)
+	return d.ersOn(&d.fg, pba, payloadLen)
+}
+
+// ersOn performs the electrical sector read on the given plane. Caller
+// holds the gate read lock (or the exclusive gate) and the block's
+// stripe lock (not needed under the exclusive gate).
+func (d *Device) ersOn(pl *plane, pba uint64, payloadLen int) (ERSReport, error) {
 	if payloadLen <= 0 || d.codingDots(payloadLen) > DataRegionDots {
 		return ERSReport{}, fmt.Errorf("device: ERS length %d invalid", payloadLen)
 	}
 	base := d.dotBase(pba) + headerDotOffset()
 	n := d.codingDots(payloadLen)
-	sw := sim.NewStopwatch(d.clock)
-	d.arr.ChargeElectricRead(d.chargeIndex(base), n*d.p.ErbRetries)
+	elapsed := pl.charge(d, func(a *probe.Array) {
+		a.ChargeElectricRead(d.chargeIndex(base), n*d.p.ErbRetries)
+	})
 	flags := make([]bool, n)
 	for i := range flags {
 		flags[i] = d.erbDot(base + i)
 	}
-	d.stats.ElectricReads++
-	d.stats.ElectricReadNS += sw.Elapsed()
+	pl.record(d, func(st *OpStats) {
+		st.ElectricReads++
+		st.ElectricReadNS += elapsed
+	})
 	if d.p.Coding == CodingWOM {
 		return decodeERSWOM(flags)
 	}
@@ -411,8 +706,8 @@ func (d *Device) lowAmplitude(i int) bool {
 // IsHeatedCached reports whether the device believes block pba is
 // electrically written, from its cache (no medium access).
 func (d *Device) IsHeatedCached(pba uint64) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
 	return d.heated[pba]
 }
 
@@ -428,15 +723,21 @@ func (d *Device) IsHeatedCached(pba uint64) bool {
 // problem: "a heated block should not be misinterpreted as a bad
 // block".
 func (d *Device) ProbeHeated(pba uint64, sampleCells int) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.probeHeatedLocked(pba, sampleCells)
-}
-
-func (d *Device) probeHeatedLocked(pba uint64, sampleCells int) (bool, error) {
+	d.gate.RLock()
+	defer d.gate.RUnlock()
 	if err := d.checkPBA(pba); err != nil {
 		return false, err
 	}
+	locked := d.lockBlock(pba)
+	defer d.unlockBlock(locked)
+	return d.probeHeatedOn(&d.fg, pba, sampleCells)
+}
+
+// probeHeatedOn runs the heated-block probe on the given plane. Caller
+// holds the gate read lock and the block's stripe lock, or the
+// exclusive gate (Scan), and has validated pba — like the other *On
+// helpers, validation belongs to the public entry points.
+func (d *Device) probeHeatedOn(pl *plane, pba uint64, sampleCells int) (bool, error) {
 	if sampleCells <= 0 {
 		sampleCells = 16
 	}
@@ -452,8 +753,9 @@ func (d *Device) probeHeatedLocked(pba uint64, sampleCells int) (bool, error) {
 	}
 	stride := recordCells / sampleCells
 	base := d.dotBase(pba) + headerDotOffset()
-	sw := sim.NewStopwatch(d.clock)
-	d.arr.ChargeElectricRead(d.chargeIndex(base), sampleCells*2*d.p.ErbRetries)
+	elapsed := pl.charge(d, func(a *probe.Array) {
+		a.ChargeElectricRead(d.chargeIndex(base), sampleCells*2*d.p.ErbRetries)
+	})
 
 	// A dot counts as genuinely heated only when the erb protocol
 	// fails AND its analog amplitude is low: a defective (pinned) dot
@@ -480,8 +782,10 @@ func (d *Device) probeHeatedLocked(pba uint64, sampleCells int) (bool, error) {
 	// Require a minimum density of valid write-once cells; scattered
 	// media defects produce at most a couple.
 	found := valid >= 4
-	d.stats.ElectricReads++
-	d.stats.ElectricReadNS += sw.Elapsed()
+	pl.record(d, func(st *OpStats) {
+		st.ElectricReads++
+		st.ElectricReadNS += elapsed
+	})
 	return found, nil
 }
 
@@ -490,18 +794,25 @@ func (d *Device) probeHeatedLocked(pba uint64, sampleCells int) (bool, error) {
 // block bad is refused: that is exactly the misinterpretation §3 warns
 // against.
 func (d *Device) MarkBad(pba uint64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.gate.RLock()
+	defer d.gate.RUnlock()
 	if err := d.checkPBA(pba); err != nil {
 		return err
 	}
-	if d.heated[pba] {
+	locked := d.lockBlock(pba)
+	defer d.unlockBlock(locked)
+	d.regMu.RLock()
+	known := d.heated[pba]
+	d.regMu.RUnlock()
+	if known {
 		return fmt.Errorf("%w: refusing to mark heated block %d bad", ErrHeatedBlock, pba)
 	}
-	ok, err := d.probeHeatedLocked(pba, 16)
+	ok, err := d.probeHeatedOn(&d.fg, pba, 16)
 	if err != nil {
 		return err
 	}
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
 	if ok {
 		d.heated[pba] = true
 		return fmt.Errorf("%w: block %d is electrically written", ErrHeatedBlock, pba)
@@ -512,16 +823,16 @@ func (d *Device) MarkBad(pba uint64) error {
 
 // IsBad reports whether block pba is marked bad.
 func (d *Device) IsBad(pba uint64) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
 	return d.bad[pba]
 }
 
 // HeatedBlocks returns the sorted list of blocks the device knows to be
 // electrically written.
 func (d *Device) HeatedBlocks() []uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
 	out := make([]uint64, 0, len(d.heated))
 	for pba := range d.heated {
 		out = append(out, pba)

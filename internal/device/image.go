@@ -12,10 +12,12 @@ import (
 // medium, the same trust model as the paper's §5.2: the medium is the
 // evidence; host metadata is reconstructible and untrusted.
 
-// SaveImage serialises the device's medium.
+// SaveImage serialises the device's medium. It holds the exclusive
+// device gate: a snapshot is a whole-medium read and must not observe
+// half-finished writes.
 func (d *Device) SaveImage() []byte {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.gate.Lock()
+	defer d.gate.Unlock()
 	return d.med.Snapshot()
 }
 
@@ -30,6 +32,9 @@ func LoadImage(img []byte, p Params) (*Device, []LineInfo, error) {
 	}
 	mp := med.Params()
 	blocks := mp.Rows * mp.Cols / DotsPerBlock
+	if blocks <= 0 {
+		return nil, nil, fmt.Errorf("device: image medium %dx%d smaller than one block", mp.Rows, mp.Cols)
+	}
 	if p.Blocks > 0 && p.Blocks != blocks {
 		return nil, nil, fmt.Errorf("device: image holds %d blocks, params say %d", blocks, p.Blocks)
 	}

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"sero/internal/manchester"
 )
@@ -106,25 +108,12 @@ var (
 	ErrHeatVerify = errors.New("device: heated hash read-back verification failed")
 )
 
-// lineHash computes the secure hash of a line: SHA-256 over
-// (PBA‖data) for blocks start+1 .. start+n−1, in order. Binding the
-// physical addresses prevents the copy-mask attack (§5.2: "a copy can
-// always be distinguished from an original").
-func lineHash(start uint64, blockData [][]byte) [sha256.Size]byte {
-	h := sha256.New()
-	var pbaBuf [8]byte
-	for i, data := range blockData {
-		binary.BigEndian.PutUint64(pbaBuf[:], start+1+uint64(i))
-		h.Write(pbaBuf[:])
-		h.Write(data)
-	}
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
-}
+// lineRecordSize is the contribution of one member block to the hashed
+// line image: its 8-byte physical address followed by its data.
+const lineRecordSize = 8 + DataBytes
 
 // lineRegistered reports whether [start, start+n) overlaps a known
-// heated line. Caller holds d.mu.
+// heated line. Caller holds d.regMu.
 func (d *Device) lineOverlaps(start, n uint64) bool {
 	for s, li := range d.lines {
 		e := s + li.Blocks()
@@ -133,6 +122,40 @@ func (d *Device) lineOverlaps(start, n uint64) bool {
 		}
 	}
 	return false
+}
+
+// readLineImage reads the member blocks of the line [start, start+n)
+// into one contiguous buffer of (PBA ‖ data) records — the one
+// canonical byte stream the line hash covers, built in a single pass
+// so the caller hashes it with one SHA-256 call. Binding the physical
+// addresses into the hashed stream prevents the copy-mask attack
+// (§5.2: "a copy can always be distinguished from an original").
+//
+// When readErrs is nil the first unreadable member aborts with a
+// wrapped error (the heat path: a line that cannot be read cannot be
+// heated). When readErrs is non-nil, unreadable members are collected
+// there instead and the image is truncated to the blocks that did
+// read (the verify path, where a read error is tamper evidence, not
+// failure). Caller holds the line's stripe locks.
+func (d *Device) readLineImage(pl *plane, start, n uint64, readErrs *[]uint64) ([]byte, error) {
+	buf := make([]byte, (n-1)*lineRecordSize)
+	off := 0
+	for pba := start + 1; pba < start+n; pba++ {
+		err := d.magReadCheck(pba)
+		if err == nil {
+			binary.BigEndian.PutUint64(buf[off:], pba)
+			_, err = d.mrsInto(pl, pba, buf[off+8:off+lineRecordSize])
+		}
+		if err != nil {
+			if readErrs == nil {
+				return nil, fmt.Errorf("device: heat read of block %d: %w", pba, err)
+			}
+			*readErrs = append(*readErrs, pba)
+			continue
+		}
+		off += lineRecordSize
+	}
+	return buf[:off], nil
 }
 
 // HeatLine performs the atomic heat operation of §3 on the line of
@@ -156,36 +179,40 @@ func (d *Device) HeatLine(start uint64, logN uint8) (LineInfo, error) {
 	if start%n != 0 {
 		return LineInfo{}, fmt.Errorf("%w: start %d not aligned to %d", ErrBadLine, start, n)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.gate.RLock()
+	defer d.gate.RUnlock()
 	if start+n > uint64(d.p.Blocks) {
 		return LineInfo{}, fmt.Errorf("%w: line [%d,%d) beyond %d blocks",
 			ErrOutOfRange, start, start+n, d.p.Blocks)
 	}
+	locked := d.lockCrosstalkRange(start, start+n)
+	defer d.unlockRange(locked)
+
 	reheat := false
+	var existing LineInfo
+	d.regMu.RLock()
 	if d.lineOverlaps(start, n) {
-		if li, ok := d.lines[start]; !ok || li.LogN != logN {
+		li, ok := d.lines[start]
+		if !ok || li.LogN != logN {
+			d.regMu.RUnlock()
 			return LineInfo{}, fmt.Errorf("%w: [%d,%d)", ErrLineOverlap, start, start+n)
 		}
+		existing = li
 		reheat = true
 	}
+	d.regMu.RUnlock()
 
-	// Step 1: read the member blocks.
-	blockData := make([][]byte, 0, n-1)
-	for pba := start + 1; pba < start+n; pba++ {
-		data, err := d.mrsLocked(pba)
-		if err != nil {
-			return LineInfo{}, fmt.Errorf("device: heat read of block %d: %w", pba, err)
-		}
-		blockData = append(blockData, data)
+	// Steps 1+2: read the member blocks into one contiguous image and
+	// hash it in a single batched pass.
+	img, err := d.readLineImage(&d.fg, start, n, nil)
+	if err != nil {
+		return LineInfo{}, err
 	}
-
-	// Step 2: hash blocks and addresses.
 	rec := HeatRecord{
 		LogN:     logN,
 		Start:    start,
 		HeatedAt: uint64(d.clock.Now()),
-		Hash:     lineHash(start, blockData),
+		Hash:     sha256.Sum256(img),
 	}
 	if reheat {
 		// §3: a heat of an already-heated line "either has no effect
@@ -194,30 +221,36 @@ func (d *Device) HeatLine(start uint64, logN uint8) (LineInfo, error) {
 		// thus providing evidence of tampering". An unchanged hash is
 		// a no-op; a changed one proceeds and inevitably damages the
 		// record into HH cells — exactly the evidence the paper wants.
-		if existing := d.lines[start]; existing.Record.Hash == rec.Hash {
+		if existing.Record.Hash == rec.Hash {
 			return existing, nil
 		}
-		rec.HeatedAt = d.lines[start].Record.HeatedAt // timestamp dots are already burnt
+		rec.HeatedAt = existing.Record.HeatedAt // timestamp dots are already burnt
 	}
 
 	// Step 3: electrical write of the Manchester-encoded record.
-	if err := d.ewsLocked(start, rec.Marshal()); err != nil {
+	if err := d.ewsCheck(start); err != nil {
 		return LineInfo{}, fmt.Errorf("device: heat write of block %d: %w", start, err)
 	}
+	d.ewsOn(&d.fg, start, rec.Marshal())
 
 	// Step 4: read back and verify.
-	rep, err := d.ersLocked(start, HeatRecordBytes)
+	rep, err := d.ersOn(&d.fg, start, HeatRecordBytes)
 	if err != nil {
 		return LineInfo{}, fmt.Errorf("device: heat read-back: %w", err)
 	}
 	if !rep.Clean || !bytes.Equal(rep.Payload, rec.Marshal()) {
+		d.regMu.Lock()
+		d.heated[start] = true // the dots are burnt even though the heat failed
+		d.regMu.Unlock()
 		return LineInfo{}, ErrHeatVerify
 	}
 
 	li := LineInfo{Start: start, LogN: logN, Record: rec}
+	d.regMu.Lock()
 	d.lines[start] = li
 	d.heated[start] = true
-	d.stats.HeatLines++
+	d.regMu.Unlock()
+	d.fg.record(d, func(st *OpStats) { st.HeatLines++ })
 	return li, nil
 }
 
@@ -250,21 +283,33 @@ func (r VerifyReport) Tampered() bool { return !r.OK }
 // line"). All failure modes — damaged record cells, unreadable member
 // blocks, hash mismatch — are evidence of tampering and reported.
 func (d *Device) VerifyLine(start uint64) (VerifyReport, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	return d.verifyStart(&d.fg, start)
+}
+
+// verifyStart looks up and verifies the line at start on the given
+// plane, taking the gate and stripe locks itself.
+func (d *Device) verifyStart(pl *plane, start uint64) (VerifyReport, error) {
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	d.regMu.RLock()
 	li, ok := d.lines[start]
+	d.regMu.RUnlock()
 	if !ok {
 		return VerifyReport{}, fmt.Errorf("%w: no heated line at %d", ErrNotHeated, start)
 	}
-	return d.verifyLocked(li)
+	locked := d.lockRange(li.Start, li.End())
+	defer d.unlockRange(locked)
+	return d.verifyOn(pl, li)
 }
 
-func (d *Device) verifyLocked(li LineInfo) (VerifyReport, error) {
+// verifyOn verifies one line on the given plane. Caller holds the gate
+// read lock and the line's stripe locks.
+func (d *Device) verifyOn(pl *plane, li LineInfo) (VerifyReport, error) {
 	rep := VerifyReport{Line: li, OK: true}
-	d.stats.VerifyLines++
+	pl.record(d, func(st *OpStats) { st.VerifyLines++ })
 
 	// Read the stored record electrically.
-	ers, err := d.ersLocked(li.Start, HeatRecordBytes)
+	ers, err := d.ersOn(pl, li.Start, HeatRecordBytes)
 	if err != nil {
 		return VerifyReport{}, err
 	}
@@ -284,22 +329,17 @@ func (d *Device) verifyLocked(li LineInfo) (VerifyReport, error) {
 		}
 	}
 
-	// Recompute the hash over the member blocks.
-	n := uint64(1) << li.LogN
-	blockData := make([][]byte, 0, n-1)
-	allRead := true
-	for pba := li.Start + 1; pba < li.Start+n; pba++ {
-		data, rerr := d.mrsLocked(pba)
-		if rerr != nil {
-			rep.ReadErrors = append(rep.ReadErrors, pba)
-			rep.OK = false
-			allRead = false
-			continue
-		}
-		blockData = append(blockData, data)
+	// Recompute the hash over the member blocks, reading them into one
+	// contiguous image so the hash is one batched pass.
+	img, err := d.readLineImage(pl, li.Start, li.Blocks(), &rep.ReadErrors)
+	if err != nil {
+		return VerifyReport{}, err
 	}
-	if allRead && !rep.RecordDamaged {
-		if lineHash(li.Start, blockData) != stored.Hash {
+	if len(rep.ReadErrors) > 0 {
+		rep.OK = false
+	}
+	if len(rep.ReadErrors) == 0 && !rep.RecordDamaged {
+		if sha256.Sum256(img) != stored.Hash {
 			rep.HashMismatch = true
 			rep.OK = false
 		}
@@ -307,16 +347,100 @@ func (d *Device) verifyLocked(li LineInfo) (VerifyReport, error) {
 	return rep, nil
 }
 
+// VerifyOutcome pairs one line's verification report with its error,
+// for fan-out collection.
+type VerifyOutcome struct {
+	Report VerifyReport
+	Err    error
+}
+
+// VerifyLines verifies the lines at the given start addresses with a
+// pool of workers (workers <= 0 means the device's configured
+// Concurrency). Outcome i always corresponds to starts[i]. On a
+// noiseless medium the outcomes are bit-identical for any worker
+// count; with read noise, workers interleave draws from the shared
+// noise stream (see the package sero concurrency notes).
+//
+// Work is partitioned statically: worker w verifies lines w,
+// w+workers, w+2·workers, … — not a dynamic queue. That makes the
+// virtual-time accounting deterministic too: each worker verifies on a
+// private latency plane (its own probe array and clock), and when the
+// pool drains the device clock advances by the *maximum* per-worker
+// elapsed virtual time — the model of parallel verification hardware,
+// where wall virtual time is the slowest worker, not the sum. A
+// dynamic queue would let host scheduling decide the split (on a
+// single-CPU host one worker can drain the whole queue), turning
+// virtual time into a function of the host; the static split keeps it
+// a function of the workload alone. With workers == 1 this degenerates
+// to the single-sled serial sum (charged on the pass's own plane,
+// which starts from the sled home position).
+func (d *Device) VerifyLines(starts []uint64, workers int) []VerifyOutcome {
+	out := make([]VerifyOutcome, len(starts))
+	if len(starts) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = d.Concurrency()
+	}
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	planes := make([]*plane, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pl := d.newPlane()
+		planes[w] = pl
+		wg.Add(1)
+		go func(w int, pl *plane) {
+			defer wg.Done()
+			for i := w; i < len(starts); i += workers {
+				out[i].Report, out[i].Err = d.verifyStart(pl, starts[i])
+			}
+		}(w, pl)
+	}
+	wg.Wait()
+	d.drainPlanes(planes)
+	return out
+}
+
+// drainPlanes closes out a fan-out pass: it folds every worker's
+// stats into the device counters and advances the device clock by the
+// maximum per-worker elapsed virtual time — the parallel-hardware
+// contract shared by VerifyLines and Scan. The advance happens under
+// arrMu so it cannot land inside a foreground operation's stopwatch
+// window and inflate its per-op latency stats.
+func (d *Device) drainPlanes(planes []*plane) {
+	var maxElapsed time.Duration
+	for _, pl := range planes {
+		if e := pl.clock.Now(); e > maxElapsed {
+			maxElapsed = e
+		}
+		d.mergeStats(pl.stats)
+	}
+	d.arrMu.Lock()
+	d.clock.Advance(maxElapsed)
+	d.arrMu.Unlock()
+}
+
 // Lines returns the heated lines known to the device, sorted by start.
 func (d *Device) Lines() []LineInfo {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
 	out := make([]LineInfo, 0, len(d.lines))
 	for _, li := range d.lines {
 		out = append(out, li)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
+}
+
+// scanResult is one worker's findings over its share of the blocks.
+type scanResult struct {
+	heated      []uint64
+	lines       []LineInfo
+	unparseable []uint64
+	errPBA      uint64
+	err         error
 }
 
 // Scan rebuilds the device's heated-line registry from the medium by
@@ -327,39 +451,122 @@ func (d *Device) Lines() []LineInfo {
 // lost. It returns the recovered lines and a list of blocks holding
 // electrical data that does not parse as a record (evidence of raw
 // tampering or a shredded block).
+//
+// The scan holds the exclusive device gate and fans the block probe
+// out over the configured Concurrency, each worker charging a private
+// latency plane; the device clock advances by the slowest worker.
+// Like VerifyLines, the block space is partitioned statically
+// (interleaved chunks per worker), so the virtual-time cost is
+// independent of host scheduling, and on a noiseless medium the
+// merged results are too (results are merged in block order either
+// way).
 func (d *Device) Scan() (recovered []LineInfo, unparseable []uint64, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.gate.Lock()
+	defer d.gate.Unlock()
+
+	blocks := uint64(d.p.Blocks)
+	workers := d.Concurrency()
+	if workers > int(blocks) {
+		workers = int(blocks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]*scanResult, workers)
+	planes := make([]*plane, workers)
+	var wg sync.WaitGroup
+	const chunk = 16 // contiguous blocks per stride step
+	for w := 0; w < workers; w++ {
+		res := &scanResult{}
+		pl := d.newPlane()
+		results[w] = res
+		planes[w] = pl
+		wg.Add(1)
+		go func(w int, pl *plane, res *scanResult) {
+			defer wg.Done()
+			for lo := uint64(w) * chunk; lo < blocks; lo += uint64(workers) * chunk {
+				hi := lo + chunk
+				if hi > blocks {
+					hi = blocks
+				}
+				d.scanRange(pl, lo, hi, res)
+			}
+		}(w, pl, res)
+	}
+	wg.Wait()
+	d.drainPlanes(planes)
+
+	// Surface the lowest-addressed error, deterministically.
+	var firstErr *scanResult
+	for _, res := range results {
+		if res.err != nil && (firstErr == nil || res.errPBA < firstErr.errPBA) {
+			firstErr = res
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr.err
+	}
+
+	// Merge per-worker findings in block order and rebuild the
+	// registry.
+	var allHeated []uint64
+	for _, res := range results {
+		allHeated = append(allHeated, res.heated...)
+		recovered = append(recovered, res.lines...)
+		unparseable = append(unparseable, res.unparseable...)
+	}
+	sort.Slice(recovered, func(i, j int) bool { return recovered[i].Start < recovered[j].Start })
+	sort.Slice(unparseable, func(i, j int) bool { return unparseable[i] < unparseable[j] })
+
+	d.regMu.Lock()
 	d.lines = make(map[uint64]LineInfo)
 	d.heated = make(map[uint64]bool)
-	for pba := uint64(0); pba < uint64(d.p.Blocks); pba++ {
-		hot, perr := d.probeHeatedLocked(pba, 8)
+	for _, pba := range allHeated {
+		d.heated[pba] = true
+	}
+	for _, li := range recovered {
+		d.lines[li.Start] = li
+	}
+	d.regMu.Unlock()
+	return recovered, unparseable, nil
+}
+
+// scanRange probes blocks [lo, hi) on the given plane, accumulating
+// findings into res. Runs under the exclusive gate, so no stripe locks
+// are needed; the first error stops the range.
+func (d *Device) scanRange(pl *plane, lo, hi uint64, res *scanResult) {
+	if res.err != nil {
+		return
+	}
+	for pba := lo; pba < hi; pba++ {
+		hot, perr := d.probeHeatedOn(pl, pba, 8)
 		if perr != nil {
-			return nil, nil, perr
+			res.err = perr
+			res.errPBA = pba
+			return
 		}
 		if !hot {
 			continue
 		}
-		d.heated[pba] = true
-		rep, rerr := d.ersLocked(pba, HeatRecordBytes)
+		res.heated = append(res.heated, pba)
+		rep, rerr := d.ersOn(pl, pba, HeatRecordBytes)
 		if rerr != nil {
-			return nil, nil, rerr
+			res.err = rerr
+			res.errPBA = pba
+			return
 		}
 		if !rep.Clean {
-			unparseable = append(unparseable, pba)
+			res.unparseable = append(res.unparseable, pba)
 			continue
 		}
 		rec, uerr := UnmarshalHeatRecord(rep.Payload)
 		if uerr != nil || rec.Start != pba {
-			unparseable = append(unparseable, pba)
+			res.unparseable = append(res.unparseable, pba)
 			continue
 		}
-		li := LineInfo{Start: pba, LogN: rec.LogN, Record: rec}
-		d.lines[pba] = li
-		recovered = append(recovered, li)
+		res.lines = append(res.lines, LineInfo{Start: pba, LogN: rec.LogN, Record: rec})
 	}
-	sort.Slice(recovered, func(i, j int) bool { return recovered[i].Start < recovered[j].Start })
-	return recovered, unparseable, nil
 }
 
 // ERSReport is the outcome of an electrical sector read.

@@ -2,8 +2,9 @@ package device
 
 import (
 	"fmt"
+	"time"
 
-	"sero/internal/sim"
+	"sero/internal/probe"
 )
 
 // Shred implements the §8 "Deletion" discussion: "it is possible to
@@ -30,37 +31,54 @@ type ShredReport struct {
 // forever report its data unreadable — a shredded line is evidence of
 // deletion, not absence of evidence.
 func (d *Device) ShredLine(start uint64) (ShredReport, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	d.regMu.RLock()
 	li, ok := d.lines[start]
+	d.regMu.RUnlock()
 	if !ok {
 		return ShredReport{}, fmt.Errorf("%w: no heated line at %d", ErrNotHeated, start)
 	}
-	sw := sim.NewStopwatch(d.clock)
+	locked := d.lockCrosstalkRange(li.Start, li.End())
+	defer d.unlockRange(locked)
 	destroyed := 0
+	var total time.Duration
 	for pba := li.Start + 1; pba < li.End(); pba++ {
 		base := d.dotBase(pba)
-		d.arr.ChargeElectricWrite(d.chargeIndex(base), DotsPerBlock)
+		elapsed := d.fg.charge(d, func(a *probe.Array) {
+			a.ChargeElectricWrite(d.chargeIndex(base), DotsPerBlock)
+		})
+		total += elapsed
 		for i := 0; i < DotsPerBlock; i++ {
 			d.med.EWB(base + i)
 			destroyed++
 		}
+	}
+	d.regMu.Lock()
+	for pba := li.Start + 1; pba < li.End(); pba++ {
 		d.heated[pba] = true
 	}
-	d.stats.ElectricWrites++
-	d.stats.ElectricWriteNS += sw.Elapsed()
+	d.regMu.Unlock()
+	d.fg.record(d, func(st *OpStats) {
+		st.ElectricWrites++
+		st.ElectricWriteNS += total
+	})
 	return ShredReport{Line: li, DotsDestroyed: destroyed}, nil
 }
 
 // IsShredded reports whether every data block of the line at start has
 // been destroyed electrically (sampled via the erb protocol).
 func (d *Device) IsShredded(start uint64) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	d.regMu.RLock()
 	li, ok := d.lines[start]
+	d.regMu.RUnlock()
 	if !ok {
 		return false, fmt.Errorf("%w: no heated line at %d", ErrNotHeated, start)
 	}
+	locked := d.lockRange(li.Start, li.End())
+	defer d.unlockRange(locked)
 	for pba := li.Start + 1; pba < li.End(); pba++ {
 		base := d.dotBase(pba)
 		// Sample a handful of dots; a shredded block has all dots H.

@@ -16,6 +16,8 @@ package medium
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sero/internal/physics"
 	"sero/internal/sim"
@@ -137,16 +139,23 @@ func DefaultParams(rows, cols int) Params {
 	}
 }
 
-// Medium is a simulated patterned medium. It is not safe for concurrent
-// use: the physical device serialises all probe operations through one
-// mechanical sled, and the device layer above enforces that.
+// Medium is a simulated patterned medium. Bit operations on disjoint
+// dot regions may run concurrently: the operation counters are atomic
+// and the noise generator is internally locked. Operations touching
+// the *same* dots must still be serialised by the caller — the device
+// layer's region locks enforce that (and extend write locks over the
+// thermal-crosstalk neighbourhood of electrical writes).
 type Medium struct {
 	p    Params
 	dots []dot
-	rng  *sim.RNG
 
-	// Counters for experiments.
-	stats Stats
+	// rngMu guards rng: noise draws come from one deterministic
+	// stream regardless of which region is being read.
+	rngMu sync.Mutex
+	rng   *sim.RNG
+
+	// Counters for experiments, atomically updated.
+	stats atomicStats
 }
 
 // Stats counts low-level operations performed on a medium.
@@ -155,6 +164,14 @@ type Stats struct {
 	MagneticWrites uint64
 	ElectricWrites uint64
 	CrosstalkFlips uint64
+}
+
+// atomicStats is the lock-free internal representation of Stats.
+type atomicStats struct {
+	magneticReads  atomic.Uint64
+	magneticWrites atomic.Uint64
+	electricWrites atomic.Uint64
+	crosstalkFlips atomic.Uint64
 }
 
 // New creates a medium with the given parameters. It panics on
@@ -182,10 +199,22 @@ func (m *Medium) Params() Params { return m.p }
 func (m *Medium) Dots() int { return len(m.dots) }
 
 // Stats returns a copy of the operation counters.
-func (m *Medium) Stats() Stats { return m.stats }
+func (m *Medium) Stats() Stats {
+	return Stats{
+		MagneticReads:  m.stats.magneticReads.Load(),
+		MagneticWrites: m.stats.magneticWrites.Load(),
+		ElectricWrites: m.stats.electricWrites.Load(),
+		CrosstalkFlips: m.stats.crosstalkFlips.Load(),
+	}
+}
 
 // ResetStats zeroes the operation counters.
-func (m *Medium) ResetStats() { m.stats = Stats{} }
+func (m *Medium) ResetStats() {
+	m.stats.magneticReads.Store(0)
+	m.stats.magneticWrites.Store(0)
+	m.stats.electricWrites.Store(0)
+	m.stats.crosstalkFlips.Store(0)
+}
 
 // CapacityBits returns the usable bit capacity (one bit per dot).
 func (m *Medium) CapacityBits() int { return len(m.dots) }
@@ -254,7 +283,9 @@ func (m *Medium) readSignal(i int) float64 {
 		s = -m.p.SignalAmplitude
 	}
 	if m.p.ReadNoiseSigma > 0 {
+		m.rngMu.Lock()
 		s += m.p.ReadNoiseSigma * m.rng.NormFloat64()
+		m.rngMu.Unlock()
 	}
 	return s
 }
@@ -264,7 +295,7 @@ func (m *Medium) readSignal(i int) float64 {
 // or less random" (Fig 2): callers that need to detect heating must use
 // ERB instead — that is the device protocol the paper mandates.
 func (m *Medium) MRB(i int) bool {
-	m.stats.MagneticReads++
+	m.stats.magneticReads.Add(1)
 	return m.readSignal(i) >= 0
 }
 
@@ -272,7 +303,7 @@ func (m *Medium) MRB(i int) bool {
 // Used by the read-channel diagnostics and by tests asserting the
 // Fig 1 peak behaviour.
 func (m *Medium) MRBAnalog(i int) float64 {
-	m.stats.MagneticReads++
+	m.stats.magneticReads.Add(1)
 	return m.readSignal(i)
 }
 
@@ -281,7 +312,7 @@ func (m *Medium) MRBAnalog(i int) float64 {
 // remanence left (§5.1 "Changing the magnetisation of an electrically
 // written bit ... has no effect").
 func (m *Medium) MWB(i int, bit bool) {
-	m.stats.MagneticWrites++
+	m.stats.magneticWrites.Add(1)
 	d := m.at(i)
 	d.wearWrites++
 	if d.heated() {
@@ -304,7 +335,7 @@ func (m *Medium) MWB(i int, bit bool) {
 // by the heat spill (§7: "the magnetic state, or even the
 // write-ability of the adjacent dot could be affected").
 func (m *Medium) EWB(i int) {
-	m.stats.ElectricWrites++
+	m.stats.electricWrites.Add(1)
 	d := m.at(i)
 	m.pulse(d, m.p.PulseTempC)
 
@@ -318,13 +349,27 @@ func (m *Medium) EWB(i int) {
 		if m.p.NeighborTempFactor > 0 {
 			m.pulse(n, m.p.PulseTempC*m.p.NeighborTempFactor)
 		}
-		if m.p.ThermalCrosstalk > 0 && m.rng.Float64() < m.p.ThermalCrosstalk {
+		if m.p.ThermalCrosstalk > 0 && m.randFloat() < m.p.ThermalCrosstalk {
 			if !n.heated() {
 				n.up = !n.up
-				m.stats.CrosstalkFlips++
+				m.stats.crosstalkFlips.Add(1)
 			}
 		}
 	}
+}
+
+// randFloat draws from the shared noise stream under the rng lock.
+func (m *Medium) randFloat() float64 {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.rng.Float64()
+}
+
+// randBool draws from the shared noise stream under the rng lock.
+func (m *Medium) randBool() bool {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.rng.Bool()
 }
 
 // pulse applies one heat pulse at tempC to a dot, accumulating
@@ -341,7 +386,7 @@ func (m *Medium) pulse(d *dot, tempC float64) {
 	wasHeated := d.heated()
 	d.damage = float32(next)
 	if !wasHeated && d.heated() {
-		if m.rng.Bool() {
+		if m.randBool() {
 			d.inPlaneSign = 1
 		} else {
 			d.inPlaneSign = -1
@@ -395,7 +440,7 @@ func (m *Medium) HeatedCount() int {
 func (m *Medium) BulkErase() {
 	for i := range m.dots {
 		if !m.dots[i].heated() {
-			m.dots[i].up = m.rng.Bool()
+			m.dots[i].up = m.randBool()
 		}
 	}
 }

@@ -90,9 +90,41 @@ func RestoreSnapshot(buf []byte) (*Medium, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("%w: geometry %dx%d", ErrBadSnapshot, rows, cols)
 	}
-	need := off + rows*cols*6
-	if len(buf) != need {
+	// Size arithmetic in uint64: rows and cols are attacker-controlled
+	// 32-bit values, and rows*cols*6 can overflow on its way to
+	// matching a short buffer. The product of two uint32s fits uint64
+	// exactly, so cap it *before* the ×6 (which can wrap): 2^40 dots
+	// is orders of magnitude beyond any simulatable medium.
+	dots := uint64(rows) * uint64(cols)
+	const maxSnapshotDots = 1 << 40
+	if dots > maxSnapshotDots {
+		return nil, fmt.Errorf("%w: %d dots", ErrBadSnapshot, dots)
+	}
+	need := uint64(off) + dots*6
+	if uint64(len(buf)) != need {
 		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadSnapshot, len(buf), need)
+	}
+	// Physical parameters must be usable, not merely parseable: New and
+	// the probe-array model treat bad values as programming errors and
+	// panic, but a snapshot is untrusted input and must fail softly.
+	for _, v := range []float64{p.PitchNM, p.SignalAmplitude, p.ReadNoiseSigma,
+		p.ResidualInPlaneSignal, p.ThermalCrosstalk, p.PulseTempC,
+		p.PulseSeconds, p.NeighborTempFactor} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite parameter", ErrBadSnapshot)
+		}
+	}
+	if p.SignalAmplitude <= 0 {
+		return nil, fmt.Errorf("%w: signal amplitude %g", ErrBadSnapshot, p.SignalAmplitude)
+	}
+	// Pitch outside [0.1 nm, 100 µm] is unphysical, and extreme values
+	// overflow the probe-array capacity arithmetic downstream.
+	if p.PitchNM < 0.1 || p.PitchNM > 1e5 {
+		return nil, fmt.Errorf("%w: pitch %g nm", ErrBadSnapshot, p.PitchNM)
+	}
+	if p.ReadNoiseSigma < 0 || p.ResidualInPlaneSignal < 0 || p.ThermalCrosstalk < 0 ||
+		p.PulseSeconds < 0 || p.NeighborTempFactor < 0 {
+		return nil, fmt.Errorf("%w: negative physical parameter", ErrBadSnapshot)
 	}
 	m := New(p)
 	for i := range m.dots {

@@ -7,20 +7,25 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a virtual nanosecond counter. The zero value is a clock at
-// time zero, ready to use. Clock is not safe for concurrent use; the
-// simulated device serialises access to it (probe storage hardware has
-// a single mechanical sled, so serialisation also matches the physics).
+// time zero, ready to use. Clock is safe for concurrent use: Advance
+// is an atomic add, so concurrent clients each charge their own
+// latency and the clock accumulates total device work (the serialised
+// equivalent). Components that want parallel-hardware semantics run
+// workers against private clocks and advance a shared clock by the
+// maximum per-worker elapsed time — see the device's verification
+// engine.
 type Clock struct {
-	now time.Duration
+	now atomic.Int64
 }
 
 // Now returns the current virtual time since the start of the
 // simulation.
-func (c *Clock) Now() time.Duration { return c.now }
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
 
 // Advance moves the clock forward by d. Advance panics if d is
 // negative: virtual time never runs backwards, and a negative advance
@@ -30,12 +35,12 @@ func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative clock advance %v", d))
 	}
-	c.now += d
+	c.now.Add(int64(d))
 }
 
 // Reset rewinds the clock to zero. Intended for reusing one device
 // across benchmark iterations.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.now.Store(0) }
 
 // Stopwatch measures an interval of virtual time.
 type Stopwatch struct {

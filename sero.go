@@ -22,6 +22,43 @@
 //	report, _ := dev.Verify(start)
 //	if report.Tampered() { ... }
 //
+// # Concurrency
+//
+// A Device is safe for concurrent use by any number of goroutines, and
+// the implementation is sharded rather than serialised: block and line
+// operations take striped per-line-region locks, so reads, writes,
+// heats and verifies aimed at distinct lines proceed in parallel,
+// while any two operations touching the same blocks (including the
+// thermal-crosstalk neighbourhood of an electrical write) are
+// serialised against each other. Whole-medium operations — Recover's
+// scan and SaveImage — briefly exclude everything else.
+//
+// Audit, Recover and the background scrubber fan out over a worker
+// pool whose width is Options.Concurrency (default 1 = serial). Work
+// is partitioned statically (round-robin), so reports are assembled
+// in line order and, on a noiseless medium (Quiet), are bit-identical
+// for any worker count. With read noise enabled, workers interleave
+// draws from the medium's one seeded noise stream, so individual
+// noise samples land on different dot reads run to run — exactly as
+// they already do between two serial runs that touch the medium in
+// different orders; at a healthy SNR the decoded results are
+// unaffected.
+//
+// Virtual time under parallelism is defined as follows. Foreground
+// operations charge the shared device clock, which accumulates the
+// total device work (the serialised equivalent) no matter how many
+// goroutines issue them. A fanned-out Audit/Recover instead runs each
+// worker against a private clock and advances the device clock by the
+// *maximum* per-worker elapsed time — the model of parallel
+// verification hardware, where the pass takes as long as its slowest
+// worker. With Concurrency=1 the two definitions coincide: the pass
+// costs the sum of its per-line work. (Audit seeks are accounted on a
+// dedicated verification plane that starts from the sled home
+// position each pass, rather than continuing from wherever foreground
+// I/O left the shared sled.) ElapsedVirtual is therefore coherent —
+// monotone, and the serial sum of charged work when serial — under
+// any workload.
+//
 // For a file-system view (log-structured, heat-aware cleaning), see
 // NewFS. For the experiment drivers that regenerate the paper's
 // figures, see cmd/serosim.
@@ -48,6 +85,16 @@ type Options struct {
 	Seed uint64
 	// ErbRetries tunes the electrical-read retry count (default 8).
 	ErbRetries int
+	// Concurrency is the worker count Audit, Recover and the scrubber
+	// fan out over. 0 or 1 means serial, keeping the paper's
+	// single-sled virtual-time model (a pass costs the sum of its
+	// per-line work); higher values model
+	// parallel verification hardware (virtual time per pass becomes
+	// the slowest worker's share) and use that many goroutines of host
+	// parallelism. Reports are assembled in line order for any value,
+	// and are bit-identical across worker counts on a Quiet medium
+	// (see the package comment for the read-noise caveat).
+	Concurrency int
 }
 
 // BlockSize is the data payload of one block, in bytes.
@@ -79,6 +126,7 @@ func Open(o Options) *Device {
 	if o.ErbRetries > 0 {
 		p.ErbRetries = o.ErbRetries
 	}
+	p.Concurrency = o.Concurrency
 	mp := medium.DefaultParams(o.Blocks, device.DotsPerBlock)
 	if o.Seed != 0 {
 		mp.Seed = o.Seed
@@ -118,8 +166,22 @@ func (d *Device) Heat(start uint64, logN uint8) (LineInfo, error) {
 // stored one; any discrepancy is evidence of tampering.
 func (d *Device) Verify(start uint64) (VerifyReport, error) { return d.st.Verify(start) }
 
-// Audit verifies every heated line on the device.
+// Audit verifies every heated line on the device, fanning out over the
+// configured Concurrency.
 func (d *Device) Audit() AuditReport { return d.st.Audit() }
+
+// AuditParallel audits with an explicit worker count (0 means the
+// configured Concurrency, 1 means serial). The report is assembled in
+// line order for any worker count (and is bit-identical across counts
+// on a Quiet medium); only elapsed time changes.
+func (d *Device) AuditParallel(workers int) AuditReport { return d.st.AuditParallel(workers) }
+
+// Concurrency returns the audit/recover fan-out width.
+func (d *Device) Concurrency() int { return d.st.Device().Concurrency() }
+
+// SetConcurrency changes the audit/recover fan-out width at runtime
+// (values below 1 are clamped to 1).
+func (d *Device) SetConcurrency(workers int) { d.st.Device().SetConcurrency(workers) }
 
 // Lines lists the heated lines.
 func (d *Device) Lines() []LineInfo { return d.st.Lines() }
