@@ -21,13 +21,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Audit fan-out family plus the paper's figure/experiment benchmarks.
+# Audit fan-out family, the write-path batching/cleaner fan-out
+# family, plus the paper's figure/experiment benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkAudit -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFSAppend|BenchmarkClean' -benchtime 1x ./internal/lfs
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
 
-# Short fuzz pass over the image loader (the §5.2 trust boundary).
+# Short fuzz passes over the image loader (the §5.2 trust boundary)
+# and the file-system op stream (checkpoint/acked-data durability).
 fuzz:
 	$(GO) test -run FuzzLoadImage -fuzz FuzzLoadImage -fuzztime 20s .
+	$(GO) test -run FuzzFSOps -fuzz FuzzFSOps -fuzztime 20s ./internal/lfs
 
 ci: build vet test race

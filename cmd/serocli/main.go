@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	serocli [-blocks N] [-j workers]
+//	serocli [-blocks N] [-j workers] [-writeback N]
 package main
 
 import (
@@ -20,17 +20,23 @@ import (
 
 func main() {
 	blocks := flag.Int("blocks", 2048, "device size in 512-byte blocks")
-	workers := flag.Int("j", 1, "audit concurrency (worker count; 1 = serial)")
+	workers := flag.Int("j", 1, "audit and cleaner concurrency (worker count; 1 = serial)")
+	writeback := flag.Int("writeback", 0, "group-commit granularity in blocks (1 = block-at-a-time, 0 = whole segments)")
 	flag.Parse()
-	if err := run(*blocks, *workers); err != nil {
+	if err := run(*blocks, *workers, *writeback); err != nil {
 		fmt.Fprintln(os.Stderr, "serocli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blocks int, workers int) error {
+func run(blocks, workers, writeback int) error {
 	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
-	fs, err := sero.NewFS(dev, sero.FSOptions{SegmentBlocks: 32, HeatAware: true})
+	fs, err := sero.NewFS(dev, sero.FSOptions{
+		SegmentBlocks:   32,
+		WritebackBlocks: writeback,
+		HeatAware:       true,
+		Concurrency:     workers,
+	})
 	if err != nil {
 		return err
 	}

@@ -3,7 +3,15 @@ package main
 import "testing"
 
 func TestRunTour(t *testing.T) {
-	if err := run(2048, 2); err != nil {
+	if err := run(2048, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTourBlockAtATime(t *testing.T) {
+	// The pre-batching write path (writeback=1) must behave
+	// identically apart from virtual time.
+	if err := run(2048, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -38,12 +38,16 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed for stochastic experiments")
+	workers := flag.Int("j", 4, "cleaner fan-out width for e14-writepath (1 = serial)")
+	writeback := flag.Int("writeback", 0, "group-commit granularity for e14-writepath (1 = block-at-a-time, 0 = whole segments)")
 	flag.Parse()
+	fsFlags = fsFlagValues{workers: *workers, writeback: *writeback}
 
 	all := []string{
 		"fig2", "fig3", "fig7", "fig8", "fig9",
 		"e1-latency", "e2-gc", "e3-bimodal", "e4-attacks",
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
+		"e14-writepath",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -148,8 +152,23 @@ func run(name string, seed uint64) error {
 			return err
 		}
 		fmt.Print(res.Table())
+	case "e14-writepath":
+		res, err := experiments.RunE14(fsFlags.workers, fsFlags.writeback)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
 }
+
+// fsFlagValues carries the -j/-writeback settings into run without
+// threading them through every experiment's arguments.
+type fsFlagValues struct {
+	workers   int
+	writeback int
+}
+
+var fsFlags = fsFlagValues{workers: 4}

@@ -24,7 +24,10 @@ import (
 type Store struct {
 	dev *device.Device
 
-	// alMu guards the allocator.
+	// alMu guards the allocator and nothing else: no device I/O ever
+	// runs under it, so allocation never serialises against in-flight
+	// reads or writes. Methods that need both (WriteLine, Release,
+	// Lifecycle) gather their device state outside the lock.
 	alMu sync.Mutex
 	al   *Allocator
 
@@ -87,9 +90,10 @@ func (s *Store) Release(start uint64, n int) error {
 	return nil
 }
 
-// Write writes one data block through to the device.
+// Write writes one data block through the device's batched write path
+// (a one-block run: one command, one settle).
 func (s *Store) Write(pba uint64, data []byte) error {
-	return s.dev.MWS(pba, data)
+	return s.dev.WriteBlocks(pba, [][]byte{data})
 }
 
 // Read reads one data block.
@@ -100,8 +104,10 @@ func (s *Store) Read(pba uint64) ([]byte, error) {
 // WriteLine allocates a line big enough for the given blocks (plus
 // block 0 for the future hash), writes them, and returns the line
 // start. blocks[i] lands at start+1+i; any slack at the end of the
-// 2^N line is zero-padded so the line is heatable as a unit. Use Heat
-// to freeze it later.
+// 2^N line is zero-padded so the line is heatable as a unit. The
+// member blocks go to the medium as one batched line-granular command
+// (allocation happens first, outside any I/O, under the allocator's
+// own lock). Use Heat to freeze the line later.
 func (s *Store) WriteLine(blocks [][]byte) (start uint64, logN uint8, err error) {
 	if len(blocks) == 0 {
 		return 0, 0, errors.New("core: WriteLine with no blocks")
@@ -111,16 +117,8 @@ func (s *Store) WriteLine(blocks [][]byte) (start uint64, logN uint8, err error)
 	if err != nil {
 		return 0, 0, err
 	}
-	zero := make([]byte, device.DataBytes)
-	n := uint64(1) << logN
-	for i := uint64(1); i < n; i++ {
-		b := zero
-		if int(i-1) < len(blocks) {
-			b = blocks[i-1]
-		}
-		if werr := s.dev.MWS(start+i, b); werr != nil {
-			return 0, 0, fmt.Errorf("core: writing line block %d: %w", start+i, werr)
-		}
+	if werr := s.dev.WriteLineBatch(start, logN, blocks); werr != nil {
+		return 0, 0, fmt.Errorf("core: writing line at %d: %w", start, werr)
 	}
 	return start, logN, nil
 }

@@ -1,0 +1,174 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Batched write-path operations: the write-side counterpart of the
+// fanned-out verification engine. WriteBlocks (device.go) commits a
+// contiguous run as one command; WriteLineBatch specialises that to a
+// future heated line; MoveGroups is the cleaner's engine, relocating
+// groups of blocks on concurrent worker planes with the same
+// slowest-worker virtual-time contract as VerifyLines.
+
+// WriteLineBatch writes the member blocks of a future heated line in
+// one batched command: blocks[i] lands at start+1+i and the slack up
+// to the end of the 2^logN line is zero-filled, leaving block 0 free
+// for the heat record. HeatLine can then freeze the line without any
+// further magnetic writes.
+func (d *Device) WriteLineBatch(start uint64, logN uint8, blocks [][]byte) error {
+	if logN < 1 || logN > 20 {
+		return fmt.Errorf("%w: logN=%d", ErrBadLine, logN)
+	}
+	n := uint64(1) << logN
+	if start%n != 0 {
+		return fmt.Errorf("%w: start %d not aligned to %d", ErrBadLine, start, n)
+	}
+	if uint64(len(blocks)) > n-1 {
+		return fmt.Errorf("%w: %d blocks exceed line capacity %d",
+			ErrBadLine, len(blocks), n-1)
+	}
+	run := make([][]byte, 0, n-1)
+	zero := make([]byte, DataBytes)
+	for i := uint64(0); i < n-1; i++ {
+		if int(i) < len(blocks) {
+			run = append(run, blocks[i])
+		} else {
+			run = append(run, zero)
+		}
+	}
+	return d.WriteBlocks(start+1, run)
+}
+
+// BlockMove relocates the payload of one block to another address.
+type BlockMove struct {
+	Src, Dst uint64
+}
+
+// MoveResult reports one group's outcome. Moves complete in whole
+// destination-run chunks; Completed is the number of leading moves
+// whose payload is on the medium at Dst (len(group) when Err is nil).
+type MoveResult struct {
+	Completed int
+	Err       error
+}
+
+// MoveGroups executes groups of block moves with a pool of workers —
+// the cleaner's fan-out engine. Worker w handles groups w, w+workers,
+// … on a private latency plane (static partition, like VerifyLines),
+// and when the pool drains the device clock advances by the *maximum*
+// per-worker elapsed virtual time: a fanned-out cleaning pass costs
+// its slowest worker, not the sum. The data placement is entirely the
+// caller's (every Dst is preassigned), so the post-move medium layout
+// is identical for any worker count; only the virtual time changes.
+//
+// Within a group, moves whose destinations are consecutive are
+// committed as one batched write command (one settle per contiguous
+// run); sources are read under their stripe locks, destinations
+// written under theirs, and the two lock sets are never held together,
+// so concurrent groups cannot deadlock. workers <= 0 means the
+// device's configured Concurrency.
+func (d *Device) MoveGroups(groups [][]BlockMove, workers int) []MoveResult {
+	out := make([]MoveResult, len(groups))
+	if len(groups) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = d.Concurrency()
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	planes := make([]*plane, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pl := d.newPlane()
+		planes[w] = pl
+		wg.Add(1)
+		go func(w int, pl *plane) {
+			defer wg.Done()
+			for g := w; g < len(groups); g += workers {
+				out[g] = d.moveGroupOn(pl, groups[g])
+			}
+		}(w, pl)
+	}
+	wg.Wait()
+	d.drainPlanes(planes)
+	return out
+}
+
+// moveGroupOn relocates one group of moves on the given plane. Caller
+// holds the gate read lock.
+func (d *Device) moveGroupOn(pl *plane, moves []BlockMove) MoveResult {
+	for i := 0; i < len(moves); {
+		// Chunk: maximal run of consecutive destinations.
+		j := i + 1
+		for j < len(moves) && moves[j].Dst == moves[j-1].Dst+1 {
+			j++
+		}
+		chunk := moves[i:j]
+		bufs, err := d.readMoveSources(pl, chunk)
+		if err != nil {
+			return MoveResult{Completed: i, Err: err}
+		}
+		dst := chunk[0].Dst
+		if err := d.writeMoveRun(pl, dst, bufs); err != nil {
+			return MoveResult{Completed: i, Err: err}
+		}
+		i = j
+	}
+	return MoveResult{Completed: len(moves)}
+}
+
+// readMoveSources reads the source blocks of one chunk, batching
+// consecutive sources under one range lock.
+func (d *Device) readMoveSources(pl *plane, chunk []BlockMove) ([][]byte, error) {
+	bufs := make([][]byte, len(chunk))
+	for i := 0; i < len(chunk); {
+		j := i + 1
+		for j < len(chunk) && chunk[j].Src == chunk[j-1].Src+1 {
+			j++
+		}
+		start, end := chunk[i].Src, chunk[j-1].Src+1
+		if err := d.checkPBA(end - 1); err != nil {
+			return nil, err
+		}
+		locked := d.lockRange(start, end)
+		for k := i; k < j; k++ {
+			src := chunk[k].Src
+			err := d.magReadCheck(src)
+			if err == nil {
+				bufs[k] = make([]byte, DataBytes)
+				_, err = d.mrsInto(pl, src, bufs[k])
+			}
+			if err != nil {
+				d.unlockRange(locked)
+				return nil, fmt.Errorf("device: move read of block %d: %w", src, err)
+			}
+		}
+		d.unlockRange(locked)
+		i = j
+	}
+	return bufs, nil
+}
+
+// writeMoveRun commits one contiguous destination run as a single
+// batched write command under its stripe locks.
+func (d *Device) writeMoveRun(pl *plane, start uint64, bufs [][]byte) error {
+	end := start + uint64(len(bufs))
+	if err := d.checkPBA(end - 1); err != nil {
+		return err
+	}
+	locked := d.lockRange(start, end)
+	defer d.unlockRange(locked)
+	for pba := start; pba < end; pba++ {
+		if err := d.magWriteCheck(pba); err != nil {
+			return fmt.Errorf("device: move write of block %d: %w", pba, err)
+		}
+	}
+	d.writeRunOn(pl, start, bufs)
+	return nil
+}

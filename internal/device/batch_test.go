@@ -1,0 +1,199 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteBlocksRoundTrip(t *testing.T) {
+	d := testDevice(t, 64)
+	blocks := [][]byte{pattern(1), pattern(2), pattern(3), pattern(4)}
+	if err := d.WriteBlocks(8, blocks); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range blocks {
+		got, err := d.MRS(8 + uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d corrupted", 8+i)
+		}
+	}
+	st := d.Stats()
+	if st.MagneticWrites != 4 {
+		t.Fatalf("MagneticWrites %d, want 4", st.MagneticWrites)
+	}
+	// Bad payload size and out-of-range runs are refused.
+	if err := d.WriteBlocks(0, [][]byte{make([]byte, 10)}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if err := d.WriteBlocks(62, blocks); err == nil {
+		t.Fatal("run beyond device accepted")
+	}
+	if err := d.WriteBlocks(0, nil); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+}
+
+func TestWriteBlocksRefusalWritesNothing(t *testing.T) {
+	d := testDevice(t, 64)
+	if err := d.MWS(8, pattern(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MWS(9, pattern(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Heat block 10: a run covering it must fail atomically.
+	if err := d.EWS(10, []byte("frozen")); err != nil {
+		t.Fatal(err)
+	}
+	err := d.WriteBlocks(8, [][]byte{pattern(7), pattern(8), pattern(9)})
+	if err == nil {
+		t.Fatal("run over a heated block accepted")
+	}
+	for i, want := range [][]byte{pattern(1), pattern(2)} {
+		got, rerr := d.MRS(8 + uint64(i))
+		if rerr != nil || !bytes.Equal(got, want) {
+			t.Fatalf("refused run still wrote block %d", 8+i)
+		}
+	}
+}
+
+// TestWriteBlocksBatchedCheaper is the device half of the write-path
+// acceptance criterion: a contiguous run written as one command pays
+// the servo settle once, where block-at-a-time pays it per block.
+func TestWriteBlocksBatchedCheaper(t *testing.T) {
+	const n = 16
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = pattern(byte(i))
+	}
+
+	serial := testDevice(t, 64)
+	t0 := serial.Clock().Now()
+	for i := range blocks {
+		if err := serial.MWS(uint64(i), blocks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialNS := serial.Clock().Now() - t0
+
+	batched := testDevice(t, 64)
+	t0 = batched.Clock().Now()
+	if err := batched.WriteBlocks(0, blocks); err != nil {
+		t.Fatal(err)
+	}
+	batchedNS := batched.Clock().Now() - t0
+
+	if batchedNS*2 > serialNS {
+		t.Fatalf("batched %v not ≤ half of serial %v", batchedNS, serialNS)
+	}
+	// Same bits either way.
+	for i := range blocks {
+		got, err := batched.MRS(uint64(i))
+		if err != nil || !bytes.Equal(got, blocks[i]) {
+			t.Fatalf("batched write corrupted block %d: %v", i, err)
+		}
+	}
+}
+
+func TestWriteLineBatchHeatVerify(t *testing.T) {
+	d := testDevice(t, 64)
+	blocks := [][]byte{pattern(1), pattern(2), pattern(3)}
+	if err := d.WriteLineBatch(8, 2, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HeatLine(8, 2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.VerifyLine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("fresh batched line fails verify: %+v", rep)
+	}
+	// Geometry violations are refused.
+	if err := d.WriteLineBatch(9, 2, blocks); err == nil {
+		t.Fatal("misaligned line accepted")
+	}
+	if err := d.WriteLineBatch(8, 0, blocks); err == nil {
+		t.Fatal("logN=0 accepted")
+	}
+	if err := d.WriteLineBatch(16, 1, blocks); err == nil {
+		t.Fatal("overfull line accepted")
+	}
+}
+
+// TestMoveGroupsLayoutIndependentOfWorkers pins the cleaner-engine
+// contract: destinations are caller-assigned, so the post-move medium
+// is identical for any worker count, and the fanned-out run advances
+// the clock by the slowest worker (strictly less than the serial sum
+// here, where two groups carry equal work).
+func TestMoveGroupsLayoutIndependentOfWorkers(t *testing.T) {
+	build := func() (*Device, [][]BlockMove) {
+		d := testDevice(t, 128)
+		for i := uint64(0); i < 8; i++ {
+			if err := d.MWS(i, pattern(byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		groups := [][]BlockMove{
+			{{Src: 0, Dst: 64}, {Src: 1, Dst: 65}, {Src: 2, Dst: 66}, {Src: 3, Dst: 67}},
+			{{Src: 4, Dst: 96}, {Src: 5, Dst: 97}, {Src: 6, Dst: 98}, {Src: 7, Dst: 99}},
+		}
+		return d, groups
+	}
+
+	serialDev, groups := build()
+	t0 := serialDev.Clock().Now()
+	for _, res := range serialDev.MoveGroups(groups, 1) {
+		if res.Err != nil || res.Completed != 4 {
+			t.Fatalf("serial move failed: %+v", res)
+		}
+	}
+	serialNS := serialDev.Clock().Now() - t0
+
+	parDev, groups2 := build()
+	t0 = parDev.Clock().Now()
+	for _, res := range parDev.MoveGroups(groups2, 2) {
+		if res.Err != nil || res.Completed != 4 {
+			t.Fatalf("parallel move failed: %+v", res)
+		}
+	}
+	parNS := parDev.Clock().Now() - t0
+
+	for _, g := range groups {
+		for _, mv := range g {
+			want, err := serialDev.MRS(mv.Dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := parDev.MRS(mv.Dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("dst %d diverges between worker counts", mv.Dst)
+			}
+		}
+	}
+	if parNS >= serialNS {
+		t.Fatalf("2-worker move pass cost %v, serial %v — no slowest-worker accounting", parNS, serialNS)
+	}
+}
+
+func TestMoveGroupsRefusesBadDestination(t *testing.T) {
+	d := testDevice(t, 64)
+	if err := d.MWS(0, pattern(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EWS(32, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	res := d.MoveGroups([][]BlockMove{{{Src: 0, Dst: 32}}}, 1)
+	if res[0].Err == nil || res[0].Completed != 0 {
+		t.Fatalf("move onto heated block accepted: %+v", res[0])
+	}
+}

@@ -486,24 +486,75 @@ func (d *Device) MWS(pba uint64, data []byte) error {
 	return nil
 }
 
-// mwsOn performs the magnetic sector write on the given plane. Caller
-// holds the gate read lock and the block's stripe lock and has passed
-// magWriteCheck.
+// mwsOn performs the magnetic sector write on the given plane as a
+// one-block command (setup settle + transfer). Caller holds the gate
+// read lock and the block's stripe lock and has passed magWriteCheck.
 func (d *Device) mwsOn(pl *plane, pba uint64, data []byte) {
-	f := Frame{PBA: pba, Flags: FlagData}
-	copy(f.Data[:], data)
-	bits := bytesToBits(f.Marshal())
-	base := d.dotBase(pba)
+	d.writeRunOn(pl, pba, [][]byte{data})
+}
+
+// writeRunOn magnetically writes a pre-validated contiguous run of
+// blocks on the given plane as one device command: the servo settles
+// once, then the frames stream dot-contiguously — the write-side
+// mirror of the contiguous line-image read pass. Caller holds the gate
+// read lock and the run's stripe locks and has passed magWriteCheck
+// for every block of the run.
+func (d *Device) writeRunOn(pl *plane, start uint64, blocks [][]byte) {
+	base := d.dotBase(start)
 	elapsed := pl.charge(d, func(a *probe.Array) {
-		a.ChargeMagneticWrite(d.chargeIndex(base), len(bits))
+		a.ChargeWriteSetup()
+		a.ChargeMagneticWrite(d.chargeIndex(base), len(blocks)*DotsPerBlock)
 	})
-	for i, b := range bits {
-		d.med.MWB(base+i, b)
+	for i, data := range blocks {
+		pba := start + uint64(i)
+		f := Frame{PBA: pba, Flags: FlagData}
+		copy(f.Data[:], data)
+		bits := bytesToBits(f.Marshal())
+		blockBase := d.dotBase(pba)
+		for j, b := range bits {
+			d.med.MWB(blockBase+j, b)
+		}
 	}
 	pl.record(d, func(st *OpStats) {
-		st.MagneticWrites++
+		st.MagneticWrites += uint64(len(blocks))
 		st.MagneticWriteNS += elapsed
 	})
+}
+
+// WriteBlocks magnetically writes len(blocks) consecutive sectors
+// starting at start as one batched command: the stripe locks covering
+// the run are taken once, seek and settle are charged once for the
+// whole run, and the frames then stream. Every target block is checked
+// before the first bit is written, so a refused run writes nothing.
+func (d *Device) WriteBlocks(start uint64, blocks [][]byte) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	for i, b := range blocks {
+		if len(b) != DataBytes {
+			return fmt.Errorf("device: WriteBlocks payload %d bytes at block %d, want %d",
+				len(b), i, DataBytes)
+		}
+	}
+	n := uint64(len(blocks))
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	if err := d.checkPBA(start); err != nil {
+		return err
+	}
+	if start+n > uint64(d.p.Blocks) {
+		return fmt.Errorf("%w: [%d,%d) beyond %d blocks",
+			ErrOutOfRange, start, start+n, d.p.Blocks)
+	}
+	locked := d.lockRange(start, start+n)
+	defer d.unlockRange(locked)
+	for pba := start; pba < start+n; pba++ {
+		if err := d.magWriteCheck(pba); err != nil {
+			return err
+		}
+	}
+	d.writeRunOn(&d.fg, start, blocks)
+	return nil
 }
 
 // MRS magnetically reads block pba (the paper's mrs), returning the
@@ -620,6 +671,7 @@ func (d *Device) ewsOn(pl *plane, pba uint64, payload []byte) {
 		}
 	}
 	elapsed := pl.charge(d, func(a *probe.Array) {
+		a.ChargeWriteSetup()
 		a.ChargeElectricWrite(d.chargeIndex(base), heatCount)
 	})
 	for i, f := range flags {

@@ -2,7 +2,6 @@ package device
 
 import (
 	"fmt"
-	"time"
 
 	"sero/internal/probe"
 )
@@ -42,17 +41,17 @@ func (d *Device) ShredLine(start uint64) (ShredReport, error) {
 	locked := d.lockCrosstalkRange(li.Start, li.End())
 	defer d.unlockRange(locked)
 	destroyed := 0
-	var total time.Duration
-	for pba := li.Start + 1; pba < li.End(); pba++ {
-		base := d.dotBase(pba)
-		elapsed := d.fg.charge(d, func(a *probe.Array) {
-			a.ChargeElectricWrite(d.chargeIndex(base), DotsPerBlock)
-		})
-		total += elapsed
-		for i := 0; i < DotsPerBlock; i++ {
-			d.med.EWB(base + i)
-			destroyed++
-		}
+	// One batched heat command over the contiguous data-block run: the
+	// servo settles once and the destroying pulses stream.
+	runBase := d.dotBase(li.Start + 1)
+	runDots := int(li.End()-li.Start-1) * DotsPerBlock
+	total := d.fg.charge(d, func(a *probe.Array) {
+		a.ChargeWriteSetup()
+		a.ChargeElectricWrite(d.chargeIndex(runBase), runDots)
+	})
+	for i := 0; i < runDots; i++ {
+		d.med.EWB(runBase + i)
+		destroyed++
 	}
 	d.regMu.Lock()
 	for pba := li.Start + 1; pba < li.End(); pba++ {

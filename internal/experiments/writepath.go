@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sero/internal/device"
+	"sero/internal/lfs"
+)
+
+// E14 — the batched write pipeline. Compares the block-at-a-time
+// append path (writeback=1, one servo settle per block) against
+// group-committed segment writes, and a serial cleaning pass against
+// one fanned out over worker planes (virtual time: slowest worker).
+// The workload and the resulting on-medium layout are identical in
+// all configurations; only the virtual time differs.
+
+// E14Result holds the write-path comparison.
+type E14Result struct {
+	// Workers and Writeback echo the configuration under test.
+	Workers   int
+	Writeback int
+
+	// AppendSerialNS / AppendBatchedNS are virtual time per appended
+	// block with writeback=1 vs the configured group-commit size.
+	AppendSerialNS  time.Duration
+	AppendBatchedNS time.Duration
+
+	// CleanSerialNS / CleanParallelNS are the virtual cost of one
+	// cleaning pass over the same victim population, serial vs fanned
+	// out over Workers planes.
+	CleanSerialNS   time.Duration
+	CleanParallelNS time.Duration
+
+	// CleanedSerial / CleanedParallel count segments reclaimed (must
+	// match: the layout contract).
+	CleanedSerial   int
+	CleanedParallel int
+}
+
+// RunE14 measures the two write-path effects with the given cleaner
+// fan-out and group-commit granularity (0 means whole segments).
+func RunE14(workers, writeback int) (E14Result, error) {
+	res := E14Result{Workers: workers, Writeback: writeback}
+
+	appendCost := func(wb int) (time.Duration, error) {
+		dev := quietDevice(2048)
+		fs, err := lfs.New(dev, lfs.Params{
+			SegmentBlocks: 32, CheckpointBlocks: 32, WritebackBlocks: wb,
+			HeatAware: true, ReserveSegments: 2,
+		})
+		if err != nil {
+			return 0, err
+		}
+		// Stream appends through a rotating file population (files are
+		// capped at MaxFileBytes), syncing every 32 blocks.
+		const blocks, perSync = 256, 32
+		inos := make([]lfs.Ino, 8)
+		for i := range inos {
+			var err error
+			if inos[i], err = fs.Create(fmt.Sprintf("s%02d", i), 0); err != nil {
+				return 0, err
+			}
+		}
+		data := make([]byte, device.DataBytes)
+		start := dev.Clock().Now()
+		for i := 0; i < blocks; i++ {
+			ino := inos[(i/perSync)%len(inos)]
+			if err := fs.Write(ino, uint64(i%perSync)*device.DataBytes, data); err != nil {
+				return 0, err
+			}
+			if (i+1)%perSync == 0 {
+				if err := fs.Sync(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return (dev.Clock().Now() - start) / blocks, nil
+	}
+	var err error
+	if res.AppendSerialNS, err = appendCost(1); err != nil {
+		return res, err
+	}
+	if res.AppendBatchedNS, err = appendCost(writeback); err != nil {
+		return res, err
+	}
+
+	cleanCost := func(j int) (time.Duration, int, error) {
+		dev := quietDevice(4096)
+		fs, err := lfs.New(dev, lfs.Params{
+			SegmentBlocks: 32, CheckpointBlocks: 32,
+			HeatAware: true, ReserveSegments: 2, Concurrency: j,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		// Fill many segments, then invalidate half of every file's
+		// blocks, leaving a victim population at ~50 % utilisation —
+		// the regime where cleaning actually copies data.
+		inos := make([]lfs.Ino, 24)
+		for i := range inos {
+			if inos[i], err = fs.Create(fmt.Sprintf("f%02d", i), 0); err != nil {
+				return 0, 0, err
+			}
+			if err := fs.WriteFile(inos[i], make([]byte, 8*device.DataBytes)); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			return 0, 0, err
+		}
+		for _, ino := range inos {
+			if err := fs.WriteFile(ino, make([]byte, 4*device.DataBytes)); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			return 0, 0, err
+		}
+		start := dev.Clock().Now()
+		cs := fs.Clean(fs.FreeSegments() + 4)
+		return dev.Clock().Now() - start, cs.SegmentsCleaned, nil
+	}
+	if res.CleanSerialNS, res.CleanedSerial, err = cleanCost(1); err != nil {
+		return res, err
+	}
+	if res.CleanParallelNS, res.CleanedParallel, err = cleanCost(workers); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Table renders E14.
+func (r E14Result) Table() string {
+	var b strings.Builder
+	b.WriteString("E14 — batched write pipeline (virtual time)\n")
+	wb := r.Writeback
+	if wb <= 0 {
+		wb = 0
+	}
+	fmt.Fprintf(&b, "append/block: %10v serial (writeback=1)   %10v batched (writeback=%d)   %.1fx\n",
+		r.AppendSerialNS, r.AppendBatchedNS, wb,
+		float64(r.AppendSerialNS)/float64(r.AppendBatchedNS))
+	fmt.Fprintf(&b, "clean pass:   %10v serial (%d segs)        %10v at j=%d (%d segs)        %.1fx\n",
+		r.CleanSerialNS, r.CleanedSerial,
+		r.CleanParallelNS, r.Workers, r.CleanedParallel,
+		float64(r.CleanSerialNS)/float64(r.CleanParallelNS))
+	return b.String()
+}

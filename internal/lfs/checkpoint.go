@@ -52,7 +52,8 @@ func (fs *FS) writeCheckpointLocked() error {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(fs.dir[n]))
 	}
 
-	// Frame with total length, then split across checkpoint blocks.
+	// Frame with total length, split across checkpoint blocks, and
+	// commit the region as one batched write command.
 	framed := binary.BigEndian.AppendUint64(nil, uint64(len(buf)))
 	framed = append(framed, buf...)
 	needBlocks := (len(framed) + device.DataBytes - 1) / device.DataBytes
@@ -60,19 +61,18 @@ func (fs *FS) writeCheckpointLocked() error {
 		return fmt.Errorf("lfs: checkpoint of %d blocks exceeds region %d",
 			needBlocks, fs.p.CheckpointBlocks)
 	}
-	blockBuf := make([]byte, device.DataBytes)
+	blocks := make([][]byte, needBlocks)
 	for i := 0; i < needBlocks; i++ {
-		for j := range blockBuf {
-			blockBuf[j] = 0
-		}
+		blockBuf := make([]byte, device.DataBytes)
 		end := (i + 1) * device.DataBytes
 		if end > len(framed) {
 			end = len(framed)
 		}
 		copy(blockBuf, framed[i*device.DataBytes:end])
-		if err := fs.dev.MWS(uint64(i), blockBuf); err != nil {
-			return fmt.Errorf("lfs: writing checkpoint block %d: %w", i, err)
-		}
+		blocks[i] = blockBuf
+	}
+	if err := fs.dev.WriteBlocks(0, blocks); err != nil {
+		return fmt.Errorf("lfs: writing checkpoint: %w", err)
 	}
 	return nil
 }
@@ -132,18 +132,34 @@ func Mount(dev *device.Device, p Params) (*FS, error) {
 		fs.names[ino] = name
 	}
 
-	// Rebuild liveness and segment state by walking the inodes.
-	maxSeg := -1
-	for ino, ipba := range fs.imap {
-		in, ierr := fs.loadInodeAt(ino, ipba)
-		if ierr != nil {
+	// Rebuild liveness and segment state by walking the inodes in ino
+	// order. The inode reads advance the device clock, so the walk
+	// loads everything first and then stamps all liveness with one
+	// timestamp: mount-time segment ages — and with them the cleaner's
+	// future victim choices — must not depend on map iteration order.
+	inos := make([]Ino, 0, len(fs.imap))
+	for ino := range fs.imap {
+		inos = append(inos, ino)
+	}
+	sortInos(inos)
+	for _, ino := range inos {
+		if _, ierr := fs.loadInodeAt(ino, fs.imap[ino]); ierr != nil {
 			return nil, ierr
 		}
+	}
+	now := fs.now()
+	maxSeg := -1
+	for _, ino := range inos {
+		ipba := fs.imap[ino]
+		in, _ := fs.cachedInode(ino)
 		if !in.Heated() {
-			fs.sm.markLive(ipba, fs.now())
+			fs.sm.markLive(ipba, now)
 			fs.owners[ipba] = blockRef{ino: ino, idx: -1}
 			for idx, pba := range in.Blocks {
-				fs.sm.markLive(pba, fs.now())
+				if pba == 0 {
+					continue // hole sentinel, not a data block
+				}
+				fs.sm.markLive(pba, now)
 				fs.owners[pba] = blockRef{ino: ino, idx: idx}
 			}
 		}
@@ -191,6 +207,6 @@ func (fs *FS) loadInodeAt(ino Ino, pba uint64) (*Inode, error) {
 	if in.Ino != ino {
 		return nil, fmt.Errorf("%w: imap says %d, block says %d", ErrBadInode, ino, in.Ino)
 	}
-	fs.inodes[ino] = in
+	fs.cacheInode(in)
 	return in, nil
 }

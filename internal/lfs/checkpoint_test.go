@@ -133,9 +133,11 @@ func TestCleanerPrefersColderSegments(t *testing.T) {
 	segsBefore := fs.Segments()
 	_ = segsBefore
 	var cs CleanStats
-	victim := fs.pickVictim(&cs)
-	if victim != nil && victim.state != SegFull {
-		t.Fatalf("victim in state %v", victim.state)
+	victims := fs.pickVictims(1, &cs)
+	for _, victim := range victims {
+		if victim.state != SegFull {
+			t.Fatalf("victim in state %v", victim.state)
+		}
 	}
 }
 

@@ -2,6 +2,8 @@ package lfs
 
 import (
 	"sort"
+
+	"sero/internal/device"
 )
 
 // The segment cleaner, following the cost-benefit policy of Rosenblum
@@ -9,25 +11,55 @@ import (
 // segments (those containing heated lines) are never selected —
 // "the garbage collector skips over heated segments, avoiding reading
 // and writing them repeatedly, thus saving on disk bandwidth".
+//
+// A cleaning pass is a three-phase pipeline:
+//
+//  1. plan (serial): pick the K best victims by cost-benefit score and
+//     reserve a destination slot in the log for every live data block,
+//     in log order — so the post-clean layout is a function of the
+//     workload alone, never of the worker count;
+//  2. copy (concurrent): relocate each victim's blocks on the device's
+//     fanned-out move engine, one worker plane per victim group, with
+//     contiguous destinations committed as single batched writes; the
+//     device clock advances by the *slowest worker's* elapsed virtual
+//     time, the same contract as a fanned-out Audit;
+//  3. commit (serial): retarget the owning inodes, rewrite each
+//     affected inode once (not once per copied block), and free the
+//     emptied victims.
 
 // CleanStats summarises one cleaning pass.
 type CleanStats struct {
 	// SegmentsCleaned counts segments returned to the free pool.
 	SegmentsCleaned int
 	// BlocksCopied counts live blocks rewritten (the GC bandwidth
-	// cost).
+	// cost), including the one-per-inode rewrites of phase 3.
 	BlocksCopied int
 	// PinnedSkipped counts pinned segments that were candidates by
 	// utilisation but were skipped.
 	PinnedSkipped int
+	// Workers is the fan-out width the copy phase ran at.
+	Workers int
+	// Checkpointed reports that the pass ended with a checkpoint on
+	// the medium (making the relocations durable and the emptied
+	// segments reusable).
+	Checkpointed bool
 }
 
 // Clean runs the cleaner until at least targetFree segments are free
-// or no further progress is possible.
+// or no further progress is possible, then checkpoints: the
+// relocations become durable and the emptied segments (SegFreeing)
+// become reusable only once the medium holds a checkpoint that no
+// longer references their old contents.
 func (fs *FS) Clean(targetFree int) CleanStats {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.cleanLocked(targetFree)
+	cs := fs.cleanLocked(targetFree)
+	if cs.SegmentsCleaned > 0 {
+		// A failure leaves the freed segments gated (SegFreeing) —
+		// the safe direction; the next successful Sync releases them.
+		cs.Checkpointed = fs.syncMetaLocked() == nil
+	}
+	return cs
 }
 
 func (fs *FS) cleanLocked(targetFree int) CleanStats {
@@ -38,12 +70,22 @@ func (fs *FS) cleanLocked(targetFree int) CleanStats {
 	fs.cleaning = true
 	defer func() { fs.cleaning = false }()
 	fs.stats.CleanerPasses++
-	for fs.sm.freeSegments() < targetFree {
-		victim := fs.pickVictim(&cs)
-		if victim == nil {
+	// Emptied segments sit in SegFreeing until the next checkpoint, so
+	// progress is measured in reclaimable (free + freeing) segments.
+	for fs.sm.reclaimable() < targetFree {
+		victims := fs.pickVictims(targetFree-fs.sm.reclaimable(), &cs)
+		if len(victims) == 0 {
 			break
 		}
-		if !fs.cleanSegment(victim, &cs) {
+		before := fs.sm.reclaimable()
+		if !fs.cleanVictims(victims, &cs) {
+			break
+		}
+		if fs.sm.reclaimable() <= before {
+			// Gross progress (victims freed) but no net gain: the pass
+			// consumed as many segments for copies and inode rewrites
+			// as it reclaimed. An unreachable target would otherwise
+			// thrash forever on the cleaner's own churn.
 			break
 		}
 	}
@@ -51,9 +93,10 @@ func (fs *FS) cleanLocked(targetFree int) CleanStats {
 	return cs
 }
 
-// pickVictim selects the full segment with the best cost-benefit
-// score: (1−u)·age / (1+u). Pinned segments are counted and skipped.
-func (fs *FS) pickVictim(cs *CleanStats) *segment {
+// pickVictims selects up to k full segments with the best cost-benefit
+// scores: (1−u)·age / (1+u), ties broken by segment id so the choice
+// is deterministic. Pinned segments are counted and skipped.
+func (fs *FS) pickVictims(k int, cs *CleanStats) []*segment {
 	type cand struct {
 		seg   *segment
 		score float64
@@ -79,79 +122,159 @@ func (fs *FS) pickVictim(cs *CleanStats) *segment {
 			cands = append(cands, cand{seg: s, score: (1 - u) * age / (1 + u)})
 		}
 	}
-	if len(cands) == 0 {
-		return nil
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].seg.id < cands[j].seg.id
+	})
+	if k < 1 {
+		k = 1
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
-	return cands[0].seg
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]*segment, len(cands))
+	for i, c := range cands {
+		out[i] = c.seg
+	}
+	return out
 }
 
-// cleanSegment copies the live blocks out of seg and frees it. Returns
-// false when copying failed (e.g. no space), leaving the segment full.
-func (fs *FS) cleanSegment(seg *segment, cs *CleanStats) bool {
-	end := seg.start + uint64(fs.p.SegmentBlocks)
-	for pba := seg.start; pba < end; pba++ {
-		if !fs.sm.isLive(pba) {
+// cleanVictims runs the plan/copy/commit pipeline over one set of
+// victims. It reports whether the pass freed at least one segment;
+// false stops the cleaning loop.
+func (fs *FS) cleanVictims(victims []*segment, cs *CleanStats) bool {
+	// The copy phase writes device-direct into reserved slots, so
+	// every buffered append must be on the medium first.
+	if fs.flushActiveLocked() != nil {
+		return false
+	}
+
+	// Phase 1: plan. Destinations are reserved in log order; inode
+	// blocks are relocated by rewriting (phase 3), not copying.
+	groups := make([][]device.BlockMove, len(victims))
+	rewrite := make(map[Ino]bool)
+plan:
+	for vi, v := range victims {
+		end := v.start + uint64(fs.p.SegmentBlocks)
+		for pba := v.start; pba < end; pba++ {
+			if !fs.sm.isLive(pba) {
+				continue
+			}
+			ref, ok := fs.owners[pba]
+			if !ok {
+				// A live block with no owner is a bookkeeping bug.
+				panic("lfs: live block without owner")
+			}
+			rewrite[ref.ino] = true
+			if ref.idx == -1 {
+				continue
+			}
+			in, err := fs.inode(ref.ino)
+			if err != nil {
+				break plan
+			}
+			dst, err := fs.reserveSlot(in.Affinity)
+			if err != nil {
+				// Out of log space: clean what was planned so far; the
+				// blocks left behind keep their victims full.
+				break plan
+			}
+			groups[vi] = append(groups[vi], device.BlockMove{Src: pba, Dst: dst})
+		}
+	}
+
+	// Phase 2: copy, fanned out over the configured worker count. The
+	// device advances its clock by the slowest worker.
+	workers := fs.p.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	cs.Workers = workers
+	results := fs.dev.MoveGroups(groups, workers)
+
+	// Phase 3: commit. Retarget moved blocks, account abandoned
+	// reservations as dead space, rewrite each touched inode once,
+	// then free the victims that emptied.
+	for vi := range victims {
+		res := results[vi]
+		for i, mv := range groups[vi] {
+			if i >= res.Completed {
+				// Never copied: the reserved slot holds nothing
+				// usable and stays unreclaimable until its segment is
+				// cleaned.
+				if s := fs.sm.segOf(mv.Dst); s != nil {
+					s.dead++
+				}
+				continue
+			}
+			ref := fs.owners[mv.Src]
+			in, err := fs.inode(ref.ino)
+			if err != nil {
+				continue // src stays live; its victim stays full
+			}
+			fs.sm.markDead(mv.Src)
+			delete(fs.owners, mv.Src)
+			in.Blocks[ref.idx] = mv.Dst
+			fs.sm.markLive(mv.Dst, fs.now())
+			fs.owners[mv.Dst] = blockRef{ino: ref.ino, idx: ref.idx}
+			cs.BlocksCopied++
+		}
+	}
+	inos := make([]Ino, 0, len(rewrite))
+	for ino := range rewrite {
+		inos = append(inos, ino)
+	}
+	sortInos(inos)
+	for _, ino := range inos {
+		in, err := fs.inode(ino)
+		if err != nil {
 			continue
 		}
-		ref, ok := fs.owners[pba]
-		if !ok {
-			// A live block with no owner is a bookkeeping bug.
-			panic("lfs: live block without owner")
-		}
-		if !fs.copyLive(pba, ref) {
+		if err := fs.writeInode(in); err != nil {
+			// Without the rewrite on the log, a later checkpoint would
+			// still reference the stale inode; freeing its victims now
+			// would let new writes overwrite blocks that stale inode
+			// points at. Leave every victim full and stop the pass.
 			return false
 		}
 		cs.BlocksCopied++
 	}
-	seg.state = SegFree
-	seg.next = 0
-	seg.live = 0
-	seg.dead = 0
-	cs.SegmentsCleaned++
-	return true
+	progress := false
+	for _, v := range victims {
+		if v.state == SegFull && v.live == 0 {
+			// Emptied, but gated until the next checkpoint stops
+			// referencing the old contents (see SegFreeing).
+			v.state = SegFreeing
+			v.next = 0
+			v.dead = 0
+			v.pending = nil
+			cs.SegmentsCleaned++
+			progress = true
+		}
+	}
+	// Errors along the way (failed plan reservations, refused copies)
+	// leave their victims partly live and thus unfreed; the loop keeps
+	// cleaning only while passes still free segments.
+	return progress
 }
 
-// copyLive relocates one live block to the log tail.
-func (fs *FS) copyLive(pba uint64, ref blockRef) bool {
-	in, err := fs.inode(ref.ino)
-	if err != nil {
-		return false
+// reserveSlot assigns the next log position of the affinity's active
+// segment without writing anything: the cleaner's copy phase fills
+// reserved slots device-direct, bypassing the group-commit buffer.
+// Caller must have flushed the active buffers first, so the pending
+// run stays the contiguous tail of the segment.
+func (fs *FS) reserveSlot(affinity uint8) (uint64, error) {
+	if !fs.p.HeatAware {
+		affinity = 0
 	}
-	if ref.idx == -1 {
-		// Inode block: rewrite the inode elsewhere.
-		fs.sm.markDead(pba)
-		delete(fs.owners, pba)
-		return fs.writeInode(in) == nil
-	}
-	data, err := fs.dev.MRS(pba)
-	if err != nil {
-		return false
-	}
-	newPBA, err := fs.appendBlockAvoiding(data, in.Affinity, fs.sm.segOf(pba))
-	if err != nil {
-		return false
-	}
-	fs.sm.markDead(pba)
-	delete(fs.owners, pba)
-	in.Blocks[ref.idx] = newPBA
-	fs.sm.markLive(newPBA, fs.now())
-	fs.owners[newPBA] = blockRef{ino: ref.ino, idx: ref.idx}
-	// The inode now points elsewhere and must be rewritten too;
-	// writeInode retires the old inode block itself.
-	return fs.writeInode(in) == nil
-}
-
-// appendBlockAvoiding appends like appendBlock but never into the
-// segment being cleaned.
-func (fs *FS) appendBlockAvoiding(data []byte, affinity uint8, avoid *segment) (uint64, error) {
 	seg := fs.active[affinity]
-	if seg == avoid {
-		seg = nil
-	}
 	if seg == nil || seg.next >= fs.p.SegmentBlocks {
 		if seg != nil {
-			retireSegment(seg)
+			if err := fs.sealSegment(seg); err != nil {
+				return 0, err
+			}
 		}
 		seg = fs.sm.allocSegment(affinity)
 		if seg == nil {
@@ -161,11 +284,7 @@ func (fs *FS) appendBlockAvoiding(data []byte, affinity uint8, avoid *segment) (
 	}
 	pba := seg.start + uint64(seg.next)
 	seg.next++
-	if err := fs.dev.MWS(pba, data); err != nil {
-		return 0, err
-	}
 	seg.modTime = fs.now()
-	fs.stats.BlocksAppended++
 	return pba, nil
 }
 
@@ -178,8 +297,8 @@ func (fs *FS) appendBlockAvoiding(data []byte, affinity uint8, avoid *segment) (
 // unheated segments" — while heat-oblivious placement leaves mixed
 // segments in the middle.
 func (fs *FS) Bimodality() float64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	total, modal := 0, 0
 	for _, s := range fs.sm.segs {
 		if s.state == SegFree {

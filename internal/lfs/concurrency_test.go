@@ -1,0 +1,485 @@
+package lfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sero/internal/device"
+)
+
+// TestConcurrentFSStress hammers one FS from 16 goroutines with the
+// full operation mix — create, append, overwrite, read, heat, clean,
+// sync and metadata queries — and then verifies every file's content.
+// Run under -race this is the write-path concurrency contract: reads
+// take the metadata lock shared, appends buffer in memory, and the
+// group-commit/cleaner machinery must never tear any of it.
+func TestConcurrentFSStress(t *testing.T) {
+	const (
+		workers      = 16
+		filesPerG    = 3
+		roundsPerG   = 12
+		maxFileBlk   = 4
+		deviceBlocks = 8192
+	)
+	p := Params{
+		SegmentBlocks:    32,
+		CheckpointBlocks: 32,
+		WritebackBlocks:  32,
+		HeatAware:        true,
+		ReserveSegments:  2,
+		Concurrency:      4,
+	}
+	fs := testFS(t, deviceBlocks, p)
+
+	type fileState struct {
+		name   string
+		ino    Ino
+		want   []byte
+		heated bool
+	}
+	finals := make([][]fileState, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			files := make([]fileState, filesPerG)
+			for i := range files {
+				name := fmt.Sprintf("g%02d-f%d", g, i)
+				ino, err := fs.Create(name, uint8(g%4))
+				if err != nil {
+					t.Errorf("g%d create %s: %v", g, name, err)
+					return
+				}
+				files[i] = fileState{name: name, ino: ino}
+			}
+			for round := 0; round < roundsPerG; round++ {
+				f := &files[rng.Intn(filesPerG)]
+				switch op := rng.Intn(10); {
+				case op < 4: // write fresh content
+					if f.heated {
+						continue
+					}
+					data := payload(byte(g*16+round), (1+rng.Intn(maxFileBlk))*device.DataBytes)
+					if err := fs.WriteFile(f.ino, data); err != nil {
+						t.Errorf("g%d write %s: %v", g, f.name, err)
+						return
+					}
+					if len(data) > len(f.want) {
+						f.want = append([]byte(nil), data...)
+					} else {
+						copy(f.want, data)
+					}
+				case op < 7: // read any of this goroutine's files back
+					got, err := fs.ReadFile(f.ino)
+					if err != nil {
+						t.Errorf("g%d read %s: %v", g, f.name, err)
+						return
+					}
+					if !bytes.Equal(got, f.want) {
+						t.Errorf("g%d read %s: torn content (%d vs %d bytes)",
+							g, f.name, len(got), len(f.want))
+						return
+					}
+				case op < 8: // metadata traffic
+					_ = fs.Names()
+					_ = fs.Segments()
+					_ = fs.FreeSegments()
+					_ = fs.Bimodality()
+					if _, err := fs.Lookup(f.name); err != nil {
+						t.Errorf("g%d lookup %s: %v", g, f.name, err)
+						return
+					}
+				case op < 9: // sync and occasionally clean
+					if err := fs.Sync(); err != nil {
+						t.Errorf("g%d sync: %v", g, err)
+						return
+					}
+					if rng.Intn(2) == 0 {
+						fs.Clean(fs.FreeSegments() + 1)
+					}
+				default: // heat one still-mutable file
+					if f.heated || len(f.want) == 0 {
+						continue
+					}
+					if _, err := fs.HeatFile(f.name); err != nil {
+						t.Errorf("g%d heat %s: %v", g, f.name, err)
+						return
+					}
+					f.heated = true
+				}
+			}
+			finals[g] = files
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for g, files := range finals {
+		for _, f := range files {
+			got, err := fs.ReadFile(f.ino)
+			if err != nil {
+				t.Fatalf("g%d final read %s: %v", g, f.name, err)
+			}
+			if !bytes.Equal(got, f.want) {
+				t.Fatalf("g%d final read %s: content lost", g, f.name)
+			}
+			if f.heated {
+				reps, err := fs.VerifyFile(f.name)
+				if err != nil || len(reps) == 0 || !reps[0].OK {
+					t.Fatalf("g%d heated file %s fails verify: %v", g, f.name, err)
+				}
+			}
+		}
+	}
+}
+
+// buildFragmentedFS fills a fresh FS with files and then invalidates
+// half of every file's blocks, producing a victim population at ~50 %
+// utilisation. Identical inputs produce identical state.
+func buildFragmentedFS(t testing.TB, conc int) *FS {
+	p := Params{
+		SegmentBlocks:    32,
+		CheckpointBlocks: 32,
+		HeatAware:        true,
+		ReserveSegments:  2,
+		Concurrency:      conc,
+	}
+	fs := testFS(t, 4096, p)
+	inos := make([]Ino, 24)
+	var err error
+	for i := range inos {
+		if inos[i], err = fs.Create(fmt.Sprintf("f%02d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err = fs.WriteFile(inos[i], payload(byte(i), 8*device.DataBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err = fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ino := range inos {
+		if err = fs.WriteFile(ino, payload(byte(100+i), 4*device.DataBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err = fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// fragWant is the expected content of file i in a buildFragmentedFS
+// population: the 4-block overwrite followed by the surviving tail of
+// the original 8-block write.
+func fragWant(i int) []byte {
+	want := append([]byte(nil), payload(byte(100+i), 4*device.DataBytes)...)
+	return append(want, payload(byte(i), 8*device.DataBytes)[4*device.DataBytes:]...)
+}
+
+// TestParallelCleanerMatchesSerialLayout is the fan-out contract: on a
+// quiet medium a Concurrency=4 cleaning pass must produce exactly the
+// post-clean state of the serial pass — same segment table, same block
+// pointers, same readable contents — while costing at most the serial
+// pass's virtual time (slowest worker, not sum).
+func TestParallelCleanerMatchesSerialLayout(t *testing.T) {
+	serial := buildFragmentedFS(t, 1)
+	parallel := buildFragmentedFS(t, 4)
+
+	target := serial.FreeSegments() + 4
+	t0 := serial.Device().Clock().Now()
+	csS := serial.Clean(target)
+	serialCost := serial.Device().Clock().Now() - t0
+
+	t0 = parallel.Device().Clock().Now()
+	csP := parallel.Clean(target)
+	parallelCost := parallel.Device().Clock().Now() - t0
+
+	if csS.SegmentsCleaned == 0 {
+		t.Fatalf("serial cleaner reclaimed nothing: %+v", csS)
+	}
+	if csS.SegmentsCleaned != csP.SegmentsCleaned || csS.BlocksCopied != csP.BlocksCopied {
+		t.Fatalf("pass stats diverge: serial %+v parallel %+v", csS, csP)
+	}
+	if csP.Workers != 4 {
+		t.Fatalf("parallel pass ran at %d workers", csP.Workers)
+	}
+
+	segsS, segsP := serial.Segments(), parallel.Segments()
+	if len(segsS) != len(segsP) {
+		t.Fatalf("segment table sizes diverge")
+	}
+	for i := range segsS {
+		if segsS[i] != segsP[i] {
+			t.Fatalf("segment %d diverges: serial %+v parallel %+v", i, segsS[i], segsP[i])
+		}
+	}
+	for i := 0; i < 24; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		inoS, _ := serial.Lookup(name)
+		inoP, _ := parallel.Lookup(name)
+		stS, err := serial.Stat(inoS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stP, err := parallel.Stat(inoP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stS.Blocks) != len(stP.Blocks) {
+			t.Fatalf("%s: block counts diverge", name)
+		}
+		for j := range stS.Blocks {
+			if stS.Blocks[j] != stP.Blocks[j] {
+				t.Fatalf("%s block %d: serial at %d, parallel at %d",
+					name, j, stS.Blocks[j], stP.Blocks[j])
+			}
+		}
+		got, err := parallel.ReadFile(inoP)
+		if err != nil || !bytes.Equal(got, fragWant(i)) {
+			t.Fatalf("%s corrupted by parallel clean: %v", name, err)
+		}
+	}
+
+	if parallelCost > serialCost {
+		t.Fatalf("parallel pass cost %v, serial %v — fan-out made it slower", parallelCost, serialCost)
+	}
+	if parallelCost >= serialCost*3/4 {
+		t.Fatalf("parallel pass cost %v vs serial %v — no real fan-out win", parallelCost, serialCost)
+	}
+}
+
+// TestWritebackBatchingBeatsBlockAtATime is the group-commit half of
+// the acceptance criterion: whole-segment write-back must cost at
+// most half the virtual time per appended block of the block-at-a-time
+// path, with byte-identical results.
+func TestWritebackBatchingBeatsBlockAtATime(t *testing.T) {
+	appendCost := func(wb int) (costPerBlock int64, fs *FS) {
+		p := smallParams()
+		p.WritebackBlocks = wb
+		fs = testFS(t, 2048, p)
+		ino, err := fs.Create("stream", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const blocks = 48
+		start := fs.Device().Clock().Now()
+		for i := 0; i < blocks; i += 16 {
+			if err := fs.WriteFile(ino, payload(9, 16*device.DataBytes)); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return int64(fs.Device().Clock().Now()-start) / blocks, fs
+	}
+	serialCost, fsSerial := appendCost(1)
+	batchedCost, fsBatched := appendCost(0) // 0 = whole-segment commits
+	if batchedCost*2 > serialCost {
+		t.Fatalf("batched append %dns/block not ≤ half of serial %dns/block",
+			batchedCost, serialCost)
+	}
+	inoS, _ := fsSerial.Lookup("stream")
+	inoB, _ := fsBatched.Lookup("stream")
+	gotS, err := fsSerial.ReadFile(inoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := fsBatched.ReadFile(inoB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotS, gotB) {
+		t.Fatal("write-back granularity changed file contents")
+	}
+}
+
+// TestWritebackSurvivesMount ensures the group-commit buffer cannot
+// ack data the checkpoint does not cover: everything readable after
+// Sync is readable after Mount, for every write-back granularity.
+func TestWritebackSurvivesMount(t *testing.T) {
+	for _, wb := range []int{1, 4, 0} {
+		p := smallParams()
+		p.WritebackBlocks = wb
+		fs := testFS(t, 1024, p)
+		ino, err := fs.Create("wb", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := payload(byte(40+wb), 5*device.DataBytes)
+		if err := fs.WriteFile(ino, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		fs2, err := Mount(fs.Device(), fs.Params())
+		if err != nil {
+			t.Fatalf("wb=%d: %v", wb, err)
+		}
+		got, err := fs2.ReadFile(ino)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("wb=%d: synced data lost across mount: %v", wb, err)
+		}
+	}
+}
+
+// TestCleanUnreachableTargetTerminates pins the net-progress guard:
+// a target beyond what live data permits must stop, not thrash on the
+// cleaner's own inode churn forever.
+func TestCleanUnreachableTargetTerminates(t *testing.T) {
+	fs := buildFragmentedFS(t, 2)
+	total := len(fs.Segments())
+	cs := fs.Clean(total + 100) // impossible
+	if cs.SegmentsCleaned == 0 {
+		t.Fatalf("cleaner reclaimed nothing: %+v", cs)
+	}
+	// Files intact afterwards.
+	for i := 0; i < 24; i++ {
+		ino, err := fs.Lookup(fmt.Sprintf("f%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rerr := fs.ReadFile(ino)
+		if rerr != nil || !bytes.Equal(got, fragWant(i)) {
+			t.Fatalf("file %d corrupted: %v", i, rerr)
+		}
+	}
+}
+
+// TestSyncUnwedgesGatedSegments pins the SegFreeing recovery path: a
+// write-heavy loop near capacity relies on append-triggered cleaning,
+// whose freed segments stay gated until a checkpoint. Sync must
+// release them (it starts at rest, so checkpointing is safe) instead
+// of wedging into permanent ErrFull with reclaimable space idle.
+func TestSyncUnwedgesGatedSegments(t *testing.T) {
+	p := Params{SegmentBlocks: 32, CheckpointBlocks: 32, HeatAware: true, ReserveSegments: 2}
+	fs := testFS(t, 1024, p) // 31 log segments; the churn needs ~17 live
+	inos := make([]Ino, 16)
+	var err error
+	for i := range inos {
+		if inos[i], err = fs.Create(fmt.Sprintf("w%02d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 12; round++ {
+		for i, ino := range inos {
+			if err := fs.WriteFile(ino, payload(byte(round*i), 8*device.DataBytes)); err != nil {
+				t.Fatalf("round %d write: %v (free=%d)", round, err, fs.FreeSegments())
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatalf("round %d sync: %v (free=%d)", round, err, fs.FreeSegments())
+		}
+	}
+	for i, ino := range inos {
+		got, rerr := fs.ReadFile(ino)
+		if rerr != nil || !bytes.Equal(got, payload(byte(11*i), 8*device.DataBytes)) {
+			t.Fatalf("file %d corrupted after churn: %v", i, rerr)
+		}
+	}
+}
+
+// TestCheckpointValidation pins the independent checkpoint sizing:
+// non-power-of-two and negative values are refused with clear errors,
+// and an independent (larger) region round-trips through Mount.
+func TestCheckpointValidation(t *testing.T) {
+	dp := device.DefaultParams(2048)
+	dev := device.New(dp)
+	if _, err := New(dev, Params{SegmentBlocks: 16, CheckpointBlocks: 48, ReserveSegments: 1}); err == nil {
+		t.Fatal("non-power-of-two checkpoint accepted")
+	}
+	if _, err := New(dev, Params{SegmentBlocks: 16, CheckpointBlocks: -16, ReserveSegments: 1}); err == nil {
+		t.Fatal("negative checkpoint accepted")
+	}
+	p := smallParams()
+	p.CheckpointBlocks = 64 // independent of the 16-block segments
+	fs := testFS(t, 1024, p)
+	if fs.Params().CheckpointBlocks != 64 {
+		t.Fatalf("checkpoint region %d, want 64", fs.Params().CheckpointBlocks)
+	}
+	ino, _ := fs.Create("x", 0)
+	want := payload(3, 2*device.DataBytes)
+	if err := fs.WriteFile(ino, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(fs.Device(), fs.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile(ino)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatal("independent checkpoint region lost data across mount")
+	}
+	if _, err := fs.Lookup("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+// benchmarkFSAppend measures virtual time per appended block at the
+// given write-back granularity (1 = the seed's block-at-a-time path).
+func benchmarkFSAppend(b *testing.B, writeback int) {
+	for i := 0; i < b.N; i++ {
+		p := Params{
+			SegmentBlocks:    64,
+			CheckpointBlocks: 64,
+			WritebackBlocks:  writeback,
+			HeatAware:        true,
+			ReserveSegments:  2,
+		}
+		fs := testFS(b, 8192, p)
+		ino, err := fs.Create("bench", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const blocks = 192
+		start := fs.Device().Clock().Now()
+		for n := 0; n < blocks; n += 32 {
+			if err := fs.WriteFile(ino, payload(byte(n), 32*device.DataBytes)); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		virt := fs.Device().Clock().Now() - start
+		b.ReportMetric(float64(virt.Milliseconds()), "virt-ms")
+		b.ReportMetric(float64(virt.Nanoseconds())/float64(blocks)/1e3, "virt-µs/block")
+	}
+}
+
+func BenchmarkFSAppendSerial(b *testing.B)  { benchmarkFSAppend(b, 1) }
+func BenchmarkFSAppendBatched(b *testing.B) { benchmarkFSAppend(b, 0) }
+
+// benchmarkClean measures one cleaning pass over the standard
+// fragmented population at the given fan-out width.
+func benchmarkClean(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		fs := buildFragmentedFS(b, workers)
+		start := fs.Device().Clock().Now()
+		cs := fs.Clean(fs.FreeSegments() + 4)
+		virt := fs.Device().Clock().Now() - start
+		if cs.SegmentsCleaned == 0 {
+			b.Fatalf("cleaner reclaimed nothing: %+v", cs)
+		}
+		b.ReportMetric(float64(virt.Milliseconds()), "virt-ms")
+		b.ReportMetric(float64(cs.SegmentsCleaned), "segs")
+	}
+}
+
+func BenchmarkCleanSerial(b *testing.B)    { benchmarkClean(b, 1) }
+func BenchmarkCleanParallel4(b *testing.B) { benchmarkClean(b, 4) }

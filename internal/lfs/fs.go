@@ -16,9 +16,29 @@ type Params struct {
 	SegmentBlocks int
 
 	// CheckpointBlocks reserves space at the front of the device for
-	// the checkpoint region; rounded up to a whole number of segments.
-	// Default one segment.
+	// the checkpoint region. It is sized independently of
+	// SegmentBlocks, must be a power of two (so the log base stays
+	// aligned without silent rounding surprises), and is rounded up to
+	// a whole number of segments. Default one segment.
 	CheckpointBlocks int
+
+	// WritebackBlocks is the group-commit granularity of the write
+	// path: appended blocks are buffered in the active segment and
+	// committed to the device as one batched multi-block write once
+	// this many blocks are pending (and always on segment seal and on
+	// Sync). 1 writes block-at-a-time — the pre-batching behaviour,
+	// paying the per-command servo settle for every block. 0 defaults
+	// to SegmentBlocks (whole-segment group commit); values above
+	// SegmentBlocks are clamped to it.
+	WritebackBlocks int
+
+	// Concurrency is the cleaner fan-out width: a cleaning pass picks
+	// up to the needed number of victim segments and relocates their
+	// live blocks on this many concurrent device worker planes, so the
+	// pass costs the slowest worker's virtual time (the Audit
+	// contract). 0 or 1 cleans serially. The post-clean layout is
+	// identical for any value (destinations are planned serially).
+	Concurrency int
 
 	// HeatAware enables the SERO policies of §4.1: heated lines are
 	// clustered into dedicated segments and the cleaner skips them.
@@ -36,8 +56,10 @@ func DefaultParams() Params {
 	return Params{
 		SegmentBlocks:    64,
 		CheckpointBlocks: 64,
+		WritebackBlocks:  64,
 		HeatAware:        true,
 		ReserveSegments:  2,
+		Concurrency:      1,
 	}
 }
 
@@ -63,14 +85,30 @@ type blockRef struct {
 }
 
 // FS is a log-structured file system over a SERO device.
+//
+// Locking: fs.mu is a reader/writer lock over all file-system
+// metadata (maps, segment table, inode structs) and the per-segment
+// group-commit buffers. Mutating operations — Create, Write, Delete,
+// Sync, Clean, HeatFile — take it exclusively, but the write path is
+// memory-buffered (appends land in the active segment's buffer and
+// group-commit on seal/Sync), so exclusive sections do no device I/O
+// outside Sync/Clean/Heat. Read-only operations take it shared and
+// may read the device concurrently with each other; the inode cache
+// map has its own small lock (inoMu) so concurrent readers can fill
+// it without upgrading.
 type FS struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	dev *device.Device
 	p   Params
 
-	sm     *segmentManager
-	imap   map[Ino]uint64 // ino -> PBA of current inode block
+	sm   *segmentManager
+	imap map[Ino]uint64 // ino -> PBA of current inode block
+
+	// inoMu guards the inodes map itself; the *Inode structs it holds
+	// are protected by fs.mu (mutated only under the exclusive lock).
+	inoMu  sync.Mutex
 	inodes map[Ino]*Inode // parsed inode cache (authoritative between syncs)
+
 	owners map[uint64]blockRef
 	dir    map[string]Ino
 	names  map[Ino]string
@@ -84,6 +122,12 @@ type FS struct {
 	heatCursor map[uint8]int
 
 	dirty map[Ino]map[int][]byte
+	// pendSize records byte sizes promised by unflushed writes. The
+	// cached Inode.Size stays the *durable* size (what the blocks on
+	// the log cover), so the cleaner may rewrite an inode mid-dirty
+	// without persisting a size the checkpointed data cannot back;
+	// readers see max(Size, pendSize).
+	pendSize map[Ino]uint64
 
 	// cleaning guards against the cleaner re-triggering itself via its
 	// own log appends.
@@ -96,6 +140,7 @@ type FS struct {
 type Stats struct {
 	BytesWritten    uint64
 	BlocksAppended  uint64
+	GroupCommits    uint64 // batched segment writes issued by the write path
 	CleanerCopied   uint64
 	CleanerPasses   uint64
 	CleanerSkipped  uint64 // pinned segments the cleaner refused to touch
@@ -113,15 +158,31 @@ func New(dev *device.Device, p Params) (*FS, error) {
 		return nil, fmt.Errorf("lfs: segment size %d not a power of two", p.SegmentBlocks)
 	}
 	ckpt := p.CheckpointBlocks
-	if ckpt <= 0 {
+	if ckpt < 0 {
+		return nil, fmt.Errorf("lfs: negative checkpoint size %d", ckpt)
+	}
+	if ckpt == 0 {
 		ckpt = p.SegmentBlocks
 	}
-	// Round the checkpoint region up to whole segments so the log
-	// base stays aligned.
+	if ckpt&(ckpt-1) != 0 {
+		return nil, fmt.Errorf("lfs: checkpoint size %d not a power of two", ckpt)
+	}
+	// Round the checkpoint region up to whole segments so the log base
+	// stays aligned (exact for power-of-two sizes of at least one
+	// segment; smaller regions grow to exactly one segment).
 	if rem := ckpt % p.SegmentBlocks; rem != 0 {
 		ckpt += p.SegmentBlocks - rem
 	}
 	p.CheckpointBlocks = ckpt
+	if p.WritebackBlocks <= 0 {
+		p.WritebackBlocks = p.SegmentBlocks
+	}
+	if p.WritebackBlocks > p.SegmentBlocks {
+		p.WritebackBlocks = p.SegmentBlocks
+	}
+	if p.Concurrency < 1 {
+		p.Concurrency = 1
+	}
 	logBlocks := dev.Blocks() - ckpt
 	if logBlocks < 2*p.SegmentBlocks {
 		return nil, fmt.Errorf("lfs: device too small: %d log blocks", logBlocks)
@@ -140,6 +201,7 @@ func New(dev *device.Device, p Params) (*FS, error) {
 		heatSeg:    make(map[uint8]*segment),
 		heatCursor: make(map[uint8]int),
 		dirty:      make(map[Ino]map[int][]byte),
+		pendSize:   make(map[Ino]uint64),
 	}
 	return fs, nil
 }
@@ -152,8 +214,8 @@ func (fs *FS) Params() Params { return fs.p }
 
 // Stats returns a copy of the counters.
 func (fs *FS) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.stats
 }
 
@@ -172,7 +234,7 @@ func (fs *FS) Create(name string, affinity uint8) (Ino, error) {
 	}
 	ino := fs.next
 	fs.next++
-	fs.inodes[ino] = &Inode{Ino: ino, Affinity: affinity, MTime: fs.now()}
+	fs.cacheInode(&Inode{Ino: ino, Affinity: affinity, MTime: fs.now()})
 	fs.dir[name] = ino
 	fs.names[ino] = name
 	return ino, nil
@@ -180,8 +242,8 @@ func (fs *FS) Create(name string, affinity uint8) (Ino, error) {
 
 // Lookup resolves a name to an inode number.
 func (fs *FS) Lookup(name string) (Ino, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	ino, ok := fs.dir[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -191,8 +253,8 @@ func (fs *FS) Lookup(name string) (Ino, error) {
 
 // Names returns all file names.
 func (fs *FS) Names() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	out := make([]string, 0, len(fs.dir))
 	for n := range fs.dir {
 		out = append(out, n)
@@ -202,27 +264,55 @@ func (fs *FS) Names() []string {
 
 // Stat returns a copy of the file's inode.
 func (fs *FS) Stat(ino Ino) (Inode, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	in, err := fs.inode(ino)
 	if err != nil {
 		return Inode{}, err
 	}
 	cp := *in
+	cp.Size = fs.effectiveSize(ino, in)
 	cp.Blocks = append([]uint64(nil), in.Blocks...)
 	cp.HeatLines = append([]uint64(nil), in.HeatLines...)
 	return cp, nil
 }
 
+// cachedInode fetches from the inode cache under its own lock, so
+// readers holding only fs.mu.RLock can use it.
+func (fs *FS) cachedInode(ino Ino) (*Inode, bool) {
+	fs.inoMu.Lock()
+	defer fs.inoMu.Unlock()
+	in, ok := fs.inodes[ino]
+	return in, ok
+}
+
+// cacheInode stores an inode in the cache under its own lock.
+func (fs *FS) cacheInode(in *Inode) {
+	fs.inoMu.Lock()
+	fs.inodes[in.Ino] = in
+	fs.inoMu.Unlock()
+}
+
+// dropInode evicts an inode from the cache.
+func (fs *FS) dropInode(ino Ino) {
+	fs.inoMu.Lock()
+	delete(fs.inodes, ino)
+	fs.inoMu.Unlock()
+}
+
+// inode resolves an inode, filling the cache from the device on a
+// miss. Caller holds fs.mu (read or write); two concurrent readers
+// may both load the same inode, in which case the later store wins —
+// both copies are identical, freshly parsed from the same block.
 func (fs *FS) inode(ino Ino) (*Inode, error) {
-	if in, ok := fs.inodes[ino]; ok {
+	if in, ok := fs.cachedInode(ino); ok {
 		return in, nil
 	}
 	pba, ok := fs.imap[ino]
 	if !ok {
 		return nil, fmt.Errorf("%w: ino %d", ErrNotFound, ino)
 	}
-	data, err := fs.dev.MRS(pba)
+	data, err := fs.readPBALocked(pba)
 	if err != nil {
 		return nil, fmt.Errorf("lfs: reading inode %d at %d: %w", ino, pba, err)
 	}
@@ -230,8 +320,25 @@ func (fs *FS) inode(ino Ino) (*Inode, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs.inodes[ino] = in
+	fs.cacheInode(in)
 	return in, nil
+}
+
+// readPBALocked reads one block, serving it from an unflushed
+// group-commit buffer when the block has been appended but not yet
+// committed to the medium. Caller holds fs.mu (read or write); the
+// buffers only change under the exclusive lock, so shared holders may
+// copy from them safely.
+func (fs *FS) readPBALocked(pba uint64) ([]byte, error) {
+	if s := fs.sm.segOf(pba); s != nil && len(s.pending) > 0 {
+		lo := s.next - len(s.pending)
+		if off := int(pba - s.start); off >= lo && off < s.next {
+			buf := make([]byte, device.DataBytes)
+			copy(buf, s.pending[off-lo])
+			return buf, nil
+		}
+	}
+	return fs.dev.MRS(pba)
 }
 
 // Write stores data at the given byte offset. Data is buffered until
@@ -265,9 +372,11 @@ func (fs *FS) Write(ino Ino, off uint64, data []byte) error {
 		if buf == nil {
 			buf = make([]byte, device.DataBytes)
 			// Read-modify-write for partial overwrites of existing
-			// blocks.
-			if blk < len(in.Blocks) && (inner != 0 || n != device.DataBytes) {
-				old, rerr := fs.dev.MRS(in.Blocks[blk])
+			// blocks (which may still sit in a group-commit buffer).
+			// PBA 0 is the hole sentinel — block 0 is always the
+			// checkpoint, so no file block ever lives there.
+			if blk < len(in.Blocks) && in.Blocks[blk] != 0 && (inner != 0 || n != device.DataBytes) {
+				old, rerr := fs.readPBALocked(in.Blocks[blk])
 				if rerr == nil {
 					copy(buf, old)
 				}
@@ -278,11 +387,20 @@ func (fs *FS) Write(ino Ino, off uint64, data []byte) error {
 		data = data[n:]
 		off += uint64(n)
 	}
-	if end > in.Size {
-		in.Size = end
+	if end > fs.effectiveSize(ino, in) {
+		fs.pendSize[ino] = end
 	}
 	in.MTime = fs.now()
 	return nil
+}
+
+// effectiveSize is the file size readers observe: the durable inode
+// size extended by any unflushed write. Caller holds fs.mu.
+func (fs *FS) effectiveSize(ino Ino, in *Inode) uint64 {
+	if ps, ok := fs.pendSize[ino]; ok && ps > in.Size {
+		return ps
+	}
+	return in.Size
 }
 
 // WriteFile is a convenience wrapper writing the whole file content at
@@ -292,18 +410,21 @@ func (fs *FS) WriteFile(ino Ino, data []byte) error {
 }
 
 // Read returns up to len(p) bytes from the file at offset off,
-// consulting the dirty buffer first.
+// consulting the dirty buffer first. Reads take the metadata lock
+// shared, so they proceed concurrently with each other and with the
+// memory-buffered append path.
 func (fs *FS) Read(ino Ino, off uint64, p []byte) (int, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	in, err := fs.inode(ino)
 	if err != nil {
 		return 0, err
 	}
-	if off >= in.Size {
+	size := fs.effectiveSize(ino, in)
+	if off >= size {
 		return 0, nil
 	}
-	if max := in.Size - off; uint64(len(p)) > max {
+	if max := size - off; uint64(len(p)) > max {
 		p = p[:max]
 	}
 	read := 0
@@ -317,14 +438,14 @@ func (fs *FS) Read(ino Ino, off uint64, p []byte) (int, error) {
 		var src []byte
 		if buf, ok := fs.dirty[ino][blk]; ok {
 			src = buf
-		} else if blk < len(in.Blocks) {
-			data, rerr := fs.dev.MRS(in.Blocks[blk])
+		} else if blk < len(in.Blocks) && in.Blocks[blk] != 0 {
+			data, rerr := fs.readPBALocked(in.Blocks[blk])
 			if rerr != nil {
 				return read, fmt.Errorf("lfs: reading block %d of ino %d: %w", blk, ino, rerr)
 			}
 			src = data
 		} else {
-			src = make([]byte, device.DataBytes) // hole
+			src = make([]byte, device.DataBytes) // hole (PBA 0 sentinel)
 		}
 		copy(p[read:read+n], src[inner:inner+n])
 		read += n
@@ -369,29 +490,72 @@ func (fs *FS) Delete(name string) error {
 		delete(fs.owners, pba)
 	}
 	delete(fs.imap, ino)
-	delete(fs.inodes, ino)
+	fs.dropInode(ino)
 	delete(fs.dirty, ino)
+	delete(fs.pendSize, ino)
 	delete(fs.dir, name)
 	delete(fs.names, ino)
 	return nil
 }
 
-// retire transitions a filled segment out of the active state. A
-// segment that acquired heated lines while active (heat-oblivious
-// placement) retires as pinned, never as cleanable-full.
-func retireSegment(seg *segment) {
+// sealSegment group-commits a filled segment's buffered tail and
+// retires it out of the active state. A segment that acquired heated
+// lines while active (heat-oblivious placement) retires as pinned,
+// never as cleanable-full.
+func (fs *FS) sealSegment(seg *segment) error {
+	if err := fs.flushSegment(seg); err != nil {
+		return err
+	}
 	if seg.heatedBlocks > 0 {
 		seg.state = SegPinned
 	} else {
 		seg.state = SegFull
 	}
+	return nil
 }
 
-// appendBlock writes data to the log in the affinity's active segment
-// and returns its PBA, cleaning first when free space is low. A
-// heat-oblivious FS has no notion of heat affinity, so the baseline
-// configuration collapses every class onto one appender — that is the
-// "clustering off" half of the §4.1 ablation.
+// flushSegment group-commits the segment's pending run — the buffered
+// blocks at [next-len(pending), next) — as one batched multi-block
+// device write: the covering stripe locks are taken once and the
+// servo settles once, instead of once per block.
+func (fs *FS) flushSegment(seg *segment) error {
+	if seg == nil || len(seg.pending) == 0 {
+		return nil
+	}
+	start := seg.start + uint64(seg.next-len(seg.pending))
+	if err := fs.dev.WriteBlocks(start, seg.pending); err != nil {
+		return fmt.Errorf("lfs: group commit of segment %d: %w", seg.id, err)
+	}
+	fs.stats.GroupCommits++
+	seg.pending = nil
+	return nil
+}
+
+// flushActiveLocked group-commits every active appender's buffer, in
+// affinity order for determinism.
+func (fs *FS) flushActiveLocked() error {
+	affs := make([]int, 0, len(fs.active))
+	for a := range fs.active {
+		affs = append(affs, int(a))
+	}
+	sortInts(affs)
+	for _, a := range affs {
+		if err := fs.flushSegment(fs.active[uint8(a)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendBlock appends data to the log in the affinity's active
+// segment and returns its PBA, cleaning first when free space is low.
+// The block is buffered in memory and group-committed with its
+// neighbours once WritebackBlocks are pending (or on seal/Sync) — the
+// write path issues batched multi-block device commands, not
+// block-at-a-time writes. A heat-oblivious FS has no notion of heat
+// affinity, so the baseline configuration collapses every class onto
+// one appender — that is the "clustering off" half of the §4.1
+// ablation.
 func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 	if !fs.p.HeatAware {
 		affinity = 0
@@ -399,7 +563,9 @@ func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 	seg := fs.active[affinity]
 	if seg == nil || seg.next >= fs.p.SegmentBlocks {
 		if seg != nil {
-			retireSegment(seg)
+			if err := fs.sealSegment(seg); err != nil {
+				return 0, err
+			}
 		}
 		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
 			fs.cleanLocked(fs.p.ReserveSegments + 1)
@@ -412,24 +578,76 @@ func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 	}
 	pba := seg.start + uint64(seg.next)
 	seg.next++
-	if err := fs.dev.MWS(pba, data); err != nil {
-		return 0, err
-	}
+	seg.pending = append(seg.pending, data)
 	seg.modTime = fs.now()
 	fs.stats.BlocksAppended++
+	if len(seg.pending) >= fs.p.WritebackBlocks {
+		if err := fs.flushSegment(seg); err != nil {
+			return 0, err
+		}
+	}
 	return pba, nil
 }
 
-// Sync flushes all dirty data and inodes to the log and writes a
-// checkpoint.
+// Sync flushes all dirty data and inodes to the log, group-commits
+// the active segments, and writes a checkpoint.
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.syncLocked()
 }
 
+// unwedgeFreeingLocked releases cleaner-gated segments when the FS is
+// at rest. Cleaning triggered from the append path gates its freed
+// segments (SegFreeing) without checkpointing — checkpointing
+// mid-flush would persist stale inode graphs. At rest no flush is in
+// flight, the metadata graph references only live blocks, and live
+// blocks are never in emptied victims, so a checkpoint here safely
+// stops referencing the gated segments and converts them.
+func (fs *FS) unwedgeFreeingLocked() error {
+	if fs.sm.freeingSegments() == 0 {
+		return nil
+	}
+	return fs.syncMetaLocked()
+}
+
+// ensureSyncSpaceLocked secures enough SegFree segments to flush
+// everything currently buffered. Cleaning that triggers mid-flush can
+// only produce gated (SegFreeing) segments — converting them needs a
+// checkpoint, which is only safe at rest — so a whole sync's worth of
+// usable space must be carved out up front: clean, checkpoint,
+// convert, repeat until the estimate fits or cleaning stops making
+// net progress. Without this, a write-heavy workload near capacity
+// wedges into ErrFull with reclaimable space sitting idle.
+func (fs *FS) ensureSyncSpaceLocked() error {
+	blocks := 0
+	for _, m := range fs.dirty {
+		blocks += len(m) + 1 // data blocks plus the inode rewrite
+	}
+	for ino := range fs.names {
+		if _, ok := fs.imap[ino]; !ok {
+			blocks++ // fresh inode for a never-written file
+		}
+	}
+	need := blocks/fs.p.SegmentBlocks + 1 + fs.p.ReserveSegments
+	for tries := 0; fs.sm.freeSegments() < need && tries < len(fs.sm.segs); tries++ {
+		before := fs.sm.freeSegments()
+		fs.cleanLocked(need)
+		if err := fs.syncMetaLocked(); err != nil {
+			return err
+		}
+		if fs.sm.freeSegments() <= before {
+			break // no net gain; the flush will surface ErrFull if short
+		}
+	}
+	return nil
+}
+
 func (fs *FS) syncLocked() error {
 	fs.stats.Syncs++
+	if err := fs.ensureSyncSpaceLocked(); err != nil {
+		return err
+	}
 	// Deterministic flush order keeps experiments reproducible.
 	inos := make([]Ino, 0, len(fs.dirty))
 	for ino := range fs.dirty {
@@ -441,7 +659,45 @@ func (fs *FS) syncLocked() error {
 			return err
 		}
 	}
-	return fs.writeCheckpointLocked()
+	return fs.syncMetaLocked()
+}
+
+// syncMetaLocked makes the current metadata graph durable: it writes
+// inodes for files that have none on the log yet, group-commits every
+// active buffer, writes the checkpoint, and — once the checkpoint is
+// on the medium — releases the cleaner's SegFreeing segments for
+// reuse. Callers must not be mid-flush: every imap entry has to point
+// at a complete inode image (buffered or written).
+func (fs *FS) syncMetaLocked() error {
+	// Files created but never written have no inode on the log yet;
+	// without one the checkpoint would record their directory entry
+	// but no imap entry, leaving them half-existent after a mount.
+	fresh := make([]Ino, 0)
+	for ino := range fs.names {
+		if _, ok := fs.imap[ino]; !ok {
+			fresh = append(fresh, ino)
+		}
+	}
+	sortInos(fresh)
+	for _, ino := range fresh {
+		in, err := fs.inode(ino)
+		if err != nil {
+			return err
+		}
+		if err := fs.writeInode(in); err != nil {
+			return err
+		}
+	}
+	// Everything the checkpoint is about to ack must be on the medium
+	// before the checkpoint itself is.
+	if err := fs.flushActiveLocked(); err != nil {
+		return err
+	}
+	if err := fs.writeCheckpointLocked(); err != nil {
+		return err
+	}
+	fs.sm.convertFreeing()
+	return nil
 }
 
 func (fs *FS) flushInode(ino Ino) error {
@@ -471,6 +727,13 @@ func (fs *FS) flushInode(ino Ino) error {
 		fs.sm.markLive(pba, fs.now())
 		fs.owners[pba] = blockRef{ino: ino, idx: idx}
 	}
+	// The promised size is now backed by blocks on the log.
+	if ps, ok := fs.pendSize[ino]; ok {
+		if ps > in.Size {
+			in.Size = ps
+		}
+		delete(fs.pendSize, ino)
+	}
 	delete(fs.dirty, ino)
 	return fs.writeInode(in)
 }
@@ -497,15 +760,15 @@ func (fs *FS) writeInode(in *Inode) error {
 
 // Segments exports the segment table for experiments.
 func (fs *FS) Segments() []SegmentInfo {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.sm.snapshot()
 }
 
 // FreeSegments reports the number of reusable segments.
 func (fs *FS) FreeSegments() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.sm.freeSegments()
 }
 

@@ -46,8 +46,15 @@ func (fs *FS) HeatFile(name string) (HeatResult, error) {
 	if in.Heated() {
 		return HeatResult{}, fmt.Errorf("%w: %s", ErrFileHeated, name)
 	}
-	// Flush pending writes so the on-medium state is current.
-	if len(fs.dirty[ino]) > 0 {
+	// The FS is at rest here: release any cleaner-gated segments so
+	// the relocation below cannot starve while reclaimable space sits
+	// idle (see unwedgeFreeingLocked).
+	if err := fs.unwedgeFreeingLocked(); err != nil {
+		return HeatResult{}, err
+	}
+	// Flush pending writes (data or a bare size extension) so the
+	// on-medium state is current before the line image is built.
+	if len(fs.dirty[ino]) > 0 || fs.pendSize[ino] > in.Size {
 		if err := fs.flushInode(ino); err != nil {
 			return HeatResult{}, err
 		}
@@ -62,7 +69,9 @@ func (fs *FS) HeatFile(name string) (HeatResult, error) {
 	}
 
 	// Relocate: inode at start+1, data at start+2... The inode must be
-	// written with its *final* pointers, so compute them first.
+	// written with its *final* pointers, so compute them first; the
+	// whole line image — inode, data, zero-filled slack — then goes to
+	// the medium as one batched line-granular write command.
 	newBlocks := make([]uint64, len(in.Blocks))
 	for i := range in.Blocks {
 		newBlocks[i] = start + 2 + uint64(i)
@@ -80,27 +89,24 @@ func (fs *FS) HeatFile(name string) (HeatResult, error) {
 	if err != nil {
 		return HeatResult{}, err
 	}
-	if err := fs.dev.MWS(start+1, ibuf); err != nil {
-		return HeatResult{}, fmt.Errorf("lfs: writing frozen inode: %w", err)
-	}
-	moved := 1
-	for i, old := range in.Blocks {
-		data, rerr := fs.dev.MRS(old)
+	image := make([][]byte, 0, 1+len(in.Blocks))
+	image = append(image, ibuf)
+	for _, old := range in.Blocks {
+		if old == 0 {
+			// Hole: heats as explicit zeros.
+			image = append(image, make([]byte, device.DataBytes))
+			continue
+		}
+		data, rerr := fs.readPBALocked(old)
 		if rerr != nil {
 			return HeatResult{}, fmt.Errorf("lfs: relocating block %d: %w", old, rerr)
 		}
-		if werr := fs.dev.MWS(newBlocks[i], data); werr != nil {
-			return HeatResult{}, fmt.Errorf("lfs: relocating block to %d: %w", newBlocks[i], werr)
-		}
-		moved++
+		image = append(image, data)
 	}
-	// Zero-fill the line's slack so the hash covers defined content.
-	zero := make([]byte, device.DataBytes)
-	for pba := start + uint64(need); pba < start+(1<<logN); pba++ {
-		if err := fs.dev.MWS(pba, zero); err != nil {
-			return HeatResult{}, err
-		}
+	if err := fs.dev.WriteLineBatch(start, logN, image); err != nil {
+		return HeatResult{}, fmt.Errorf("lfs: writing line image: %w", err)
 	}
+	moved := len(image)
 
 	li, err := fs.dev.HeatLine(start, logN)
 	if err != nil {
@@ -119,7 +125,7 @@ func (fs *FS) HeatFile(name string) (HeatResult, error) {
 
 	// Adopt the frozen inode. Heated-line blocks are tracked by the
 	// pin, not the live map (they are not cleanable).
-	fs.inodes[ino] = frozen
+	fs.cacheInode(frozen)
 	fs.imap[ino] = start + 1
 	fs.sm.pin(start, 1<<logN)
 	fs.stats.HeatedFiles++
@@ -171,7 +177,9 @@ func (fs *FS) allocLineInPlace(logN uint8, affinity uint8) (uint64, error) {
 	seg := fs.active[affinity]
 	if seg == nil || alignUp(seg.next, size)+size > fs.p.SegmentBlocks {
 		if seg != nil {
-			retireSegment(seg)
+			if err := fs.sealSegment(seg); err != nil {
+				return 0, err
+			}
 		}
 		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
 			fs.cleanLocked(fs.p.ReserveSegments + 1)
@@ -181,6 +189,11 @@ func (fs *FS) allocLineInPlace(logN uint8, affinity uint8) (uint64, error) {
 			return 0, ErrFull
 		}
 		fs.active[affinity] = seg
+	}
+	// The line is written device-direct; group-commit the buffered
+	// tail first so the pending run stays contiguous at seg.next.
+	if err := fs.flushSegment(seg); err != nil {
+		return 0, err
 	}
 	seg.next = alignUp(seg.next, size)
 	start := seg.start + uint64(seg.next)
@@ -198,23 +211,23 @@ func alignUp(x, align int) int {
 // VerifyFile checks every heated line of the named file and returns
 // the device reports.
 func (fs *FS) VerifyFile(name string) ([]device.VerifyReport, error) {
-	fs.mu.Lock()
+	fs.mu.RLock()
 	ino, ok := fs.dir[name]
 	if !ok {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	in, err := fs.inode(ino)
 	if err != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return nil, err
 	}
 	if !in.Heated() {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return nil, fmt.Errorf("lfs: file %s is not heated", name)
 	}
 	lines := append([]uint64(nil), in.HeatLines...)
-	fs.mu.Unlock()
+	fs.mu.RUnlock()
 
 	var out []device.VerifyReport
 	for _, start := range lines {

@@ -26,6 +26,12 @@ const (
 	// cleaned or reused (§4.1: copying a heated line "just decreases
 	// the free space").
 	SegPinned
+	// SegFreeing has been emptied by the cleaner but the checkpoint on
+	// the medium may still reference its old contents; it becomes
+	// SegFree — and only then reusable — once the next checkpoint
+	// lands. Reusing it earlier would let fresh appends overwrite
+	// blocks a crash-recovery mount still needs.
+	SegFreeing
 )
 
 // String names the state.
@@ -39,6 +45,8 @@ func (s SegmentState) String() string {
 		return "full"
 	case SegPinned:
 		return "pinned"
+	case SegFreeing:
+		return "freeing"
 	default:
 		return fmt.Sprintf("SegmentState(%d)", int(s))
 	}
@@ -60,6 +68,12 @@ type segment struct {
 	dead int
 	// heatedBlocks counts blocks inside heated lines.
 	heatedBlocks int
+	// pending buffers the payloads of appended-but-uncommitted blocks:
+	// always the tail [next-len(pending), next) of the segment, group-
+	// committed as one batched device write on write-back, seal or
+	// Sync. Blocks below the pending run are on the medium (or are
+	// dead reserved slots the cleaner abandoned).
+	pending [][]byte
 	// modTime is the last write time, for cost-benefit ageing.
 	modTime time.Duration
 	// affinity is the class of the appender that filled it (for
@@ -115,6 +129,7 @@ func (sm *segmentManager) allocSegment(affinity uint8) *segment {
 			s.state = SegActive
 			s.next = 0
 			s.dead = 0
+			s.pending = nil
 			s.affinity = affinity
 			return s
 		}
@@ -131,6 +146,40 @@ func (sm *segmentManager) freeSegments() int {
 		}
 	}
 	return n
+}
+
+// reclaimable counts segments that are free or will be at the next
+// checkpoint (SegFreeing) — the cleaner's notion of progress.
+func (sm *segmentManager) reclaimable() int {
+	n := 0
+	for _, s := range sm.segs {
+		if s.state == SegFree || s.state == SegFreeing {
+			n++
+		}
+	}
+	return n
+}
+
+// freeingSegments counts segments gated in SegFreeing.
+func (sm *segmentManager) freeingSegments() int {
+	n := 0
+	for _, s := range sm.segs {
+		if s.state == SegFreeing {
+			n++
+		}
+	}
+	return n
+}
+
+// convertFreeing promotes every SegFreeing segment to SegFree. Called
+// right after a checkpoint reaches the medium: from that moment no
+// recovery path references their old contents.
+func (sm *segmentManager) convertFreeing() {
+	for _, s := range sm.segs {
+		if s.state == SegFreeing {
+			s.state = SegFree
+		}
+	}
 }
 
 // markLive records pba as holding live data.

@@ -275,6 +275,17 @@ func (a *Array) chargeBits(k opKind, first, count int) {
 	}
 }
 
+// ChargeWriteSetup charges the servo settle that precedes one write
+// command. Reads track on the fly — the detection channel tolerates
+// residual sled motion — but committing magnetisation (and a fortiori
+// an irreversible heat pulse) needs the sled locked and settled over
+// the target dots, so every write *command* pays one Settle before its
+// first bit; the bits within the command then stream. This is what
+// makes batched multi-sector writes pay off: one command covering a
+// contiguous run settles once, where the same run written
+// sector-at-a-time settles once per sector.
+func (a *Array) ChargeWriteSetup() { a.clock.Advance(a.timing.Settle) }
+
 // ChargeMagneticRead charges the latency of magnetically reading count
 // dots starting at first.
 func (a *Array) ChargeMagneticRead(first, count int) { a.chargeBits(opMRB, first, count) }

@@ -44,20 +44,48 @@
 // different orders; at a healthy SNR the decoded results are
 // unaffected.
 //
+// # The batched write path
+//
+// Writes are command-batched. Committing magnetisation (or a heat
+// pulse) needs the sled settled over the target dots, so every write
+// command charges one servo settle before its first bit; reads track
+// on the fly and pay none. A contiguous multi-block run issued as one
+// command (Device.WriteBlocks, the line-granular WriteLineBatch, or a
+// file-system group commit) therefore settles once and streams,
+// where the same run written sector-at-a-time settles once per
+// sector. The file system exposes this as FSOptions.WritebackBlocks:
+// appends buffer in the active segment in memory and go to the device
+// as one batched write per WritebackBlocks (and on segment seal and
+// Sync); reads take the FS metadata lock shared and proceed
+// concurrently with the memory-buffered append path. Data is durable
+// — acked — at Sync, which group-commits every buffer before writing
+// the checkpoint.
+//
+// The LFS cleaner fans out over FSOptions.Concurrency like Audit
+// does: a pass picks its cost-benefit victims, plans every live
+// block's destination serially (so the post-clean layout is a
+// function of the workload alone, identical for any worker count),
+// copies victim segments concurrently on private worker planes, and
+// commits metadata serially, rewriting each affected inode once.
+// Segments the cleaner empties stay gated (SegFreeing) until a
+// checkpoint that no longer references their old contents is on the
+// medium — only then may fresh appends reuse them, so a crash-mount
+// never reads recycled blocks.
+//
 // Virtual time under parallelism is defined as follows. Foreground
 // operations charge the shared device clock, which accumulates the
 // total device work (the serialised equivalent) no matter how many
-// goroutines issue them. A fanned-out Audit/Recover instead runs each
-// worker against a private clock and advances the device clock by the
-// *maximum* per-worker elapsed time — the model of parallel
-// verification hardware, where the pass takes as long as its slowest
-// worker. With Concurrency=1 the two definitions coincide: the pass
-// costs the sum of its per-line work. (Audit seeks are accounted on a
-// dedicated verification plane that starts from the sled home
-// position each pass, rather than continuing from wherever foreground
-// I/O left the shared sled.) ElapsedVirtual is therefore coherent —
-// monotone, and the serial sum of charged work when serial — under
-// any workload.
+// goroutines issue them. A fanned-out Audit/Recover — and the
+// cleaner's fanned-out copy phase — instead runs each worker against
+// a private clock and advances the device clock by the *maximum*
+// per-worker elapsed time — the model of parallel hardware, where the
+// pass takes as long as its slowest worker. With Concurrency=1 the
+// two definitions coincide: the pass costs the sum of its per-line
+// work. (Audit seeks are accounted on a dedicated verification plane
+// that starts from the sled home position each pass, rather than
+// continuing from wherever foreground I/O left the shared sled.)
+// ElapsedVirtual is therefore coherent — monotone, and the serial sum
+// of charged work when serial — under any workload.
 //
 // For a file-system view (log-structured, heat-aware cleaning), see
 // NewFS. For the experiment drivers that regenerate the paper's
@@ -125,6 +153,12 @@ func Open(o Options) *Device {
 	p := device.DefaultParams(o.Blocks)
 	if o.ErbRetries > 0 {
 		p.ErbRetries = o.ErbRetries
+	}
+	// Clamp at the API boundary, exactly like SetConcurrency: a
+	// negative or zero width means serial, never a copied-through
+	// nonsense value.
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
 	}
 	p.Concurrency = o.Concurrency
 	mp := medium.DefaultParams(o.Blocks, device.DotsPerBlock)
@@ -242,30 +276,57 @@ type FSOptions struct {
 	// SegmentBlocks is the LFS segment size (power of two, default
 	// 64).
 	SegmentBlocks int
+	// CheckpointBlocks sizes the checkpoint region at the front of the
+	// device, independently of SegmentBlocks. It must be a power of
+	// two; 0 defaults to one segment. (It is still rounded up to a
+	// whole number of segments so the log base stays aligned.)
+	CheckpointBlocks int
+	// WritebackBlocks is the group-commit granularity of the write
+	// path: appended blocks are buffered in memory and committed as
+	// one batched multi-block device write once this many are pending
+	// (and always on segment seal and Sync). 1 writes block-at-a-time,
+	// paying the per-command servo settle for every block; 0 defaults
+	// to whole-segment group commit.
+	WritebackBlocks int
 	// HeatAware toggles the §4.1 clustering and cleaning policies
 	// (default true).
 	HeatAware bool
+	// Concurrency is the cleaner fan-out width: a cleaning pass
+	// relocates its victim segments' live blocks on this many
+	// concurrent device worker planes and costs the slowest worker's
+	// virtual time. 0 defaults to the device's configured width;
+	// negative values clamp to serial.
+	Concurrency int
 }
 
-// NewFS formats a file system onto a device opened with Open.
-func NewFS(d *Device, o FSOptions) (*FS, error) {
+// fsParams translates FSOptions into lfs parameters (shared by NewFS
+// and MountFS so a mount always interprets the options the same way
+// the format did).
+func fsParams(d *Device, o FSOptions) lfs.Params {
 	p := lfs.DefaultParams()
 	if o.SegmentBlocks > 0 {
 		p.SegmentBlocks = o.SegmentBlocks
 		p.CheckpointBlocks = o.SegmentBlocks
 	}
+	if o.CheckpointBlocks != 0 {
+		p.CheckpointBlocks = o.CheckpointBlocks
+	}
+	p.WritebackBlocks = o.WritebackBlocks
 	p.HeatAware = o.HeatAware
-	return lfs.New(d.st.Device(), p)
+	p.Concurrency = o.Concurrency
+	if p.Concurrency == 0 {
+		p.Concurrency = d.Concurrency()
+	}
+	return p
+}
+
+// NewFS formats a file system onto a device opened with Open.
+func NewFS(d *Device, o FSOptions) (*FS, error) {
+	return lfs.New(d.st.Device(), fsParams(d, o))
 }
 
 // MountFS reopens a file system previously created by NewFS on the
 // same device.
 func MountFS(d *Device, o FSOptions) (*FS, error) {
-	p := lfs.DefaultParams()
-	if o.SegmentBlocks > 0 {
-		p.SegmentBlocks = o.SegmentBlocks
-		p.CheckpointBlocks = o.SegmentBlocks
-	}
-	p.HeatAware = o.HeatAware
-	return lfs.Mount(d.st.Device(), p)
+	return lfs.Mount(d.st.Device(), fsParams(d, o))
 }

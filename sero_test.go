@@ -162,3 +162,81 @@ func TestFacadeLoadImageGarbage(t *testing.T) {
 		t.Fatal("garbage image loaded")
 	}
 }
+
+func TestOpenClampsNegativeConcurrency(t *testing.T) {
+	// Regression: Open used to copy Options.Concurrency into the
+	// device params unclamped, unlike SetConcurrency.
+	d := Open(Options{Blocks: 256, Quiet: true, Concurrency: -3})
+	if got := d.Concurrency(); got != 1 {
+		t.Fatalf("Concurrency() = %d after Open with -3, want 1", got)
+	}
+	rep := d.AuditParallel(0) // 0 = configured width; must not hang or panic
+	if len(rep.Reports) != 0 {
+		t.Fatalf("audit of empty device found %d lines", len(rep.Reports))
+	}
+	d.SetConcurrency(-7)
+	if got := d.Concurrency(); got != 1 {
+		t.Fatalf("SetConcurrency(-7) left %d", got)
+	}
+}
+
+func TestFSOptionsCheckpointValidation(t *testing.T) {
+	d := Open(Options{Blocks: 4096, Quiet: true})
+	if _, err := NewFS(d, FSOptions{SegmentBlocks: 32, CheckpointBlocks: 48, HeatAware: true}); err == nil {
+		t.Fatal("non-power-of-two checkpoint accepted")
+	}
+	if _, err := NewFS(d, FSOptions{SegmentBlocks: 32, CheckpointBlocks: -32, HeatAware: true}); err == nil {
+		t.Fatal("negative checkpoint accepted")
+	}
+	// Checkpoint sizing is independent of the segment size.
+	fs, err := NewFS(d, FSOptions{SegmentBlocks: 32, CheckpointBlocks: 128, HeatAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Params().CheckpointBlocks; got != 128 {
+		t.Fatalf("checkpoint region %d, want 128", got)
+	}
+}
+
+func TestFSOptionsWritebackAndConcurrency(t *testing.T) {
+	d := Open(Options{Blocks: 4096, Quiet: true, Concurrency: 4})
+	fs, err := NewFS(d, FSOptions{SegmentBlocks: 32, WritebackBlocks: 8, HeatAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fs.Params()
+	if p.WritebackBlocks != 8 {
+		t.Fatalf("writeback %d, want 8", p.WritebackBlocks)
+	}
+	// Concurrency 0 inherits the device's configured fan-out width.
+	if p.Concurrency != 4 {
+		t.Fatalf("FS concurrency %d, want the device's 4", p.Concurrency)
+	}
+	ino, err := fs.Create("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*BlockSize)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := fs.WriteFile(ino, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := MountFS(d, FSOptions{SegmentBlocks: 32, WritebackBlocks: 8, HeatAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile(ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("data lost across MountFS")
+		}
+	}
+}
