@@ -22,16 +22,20 @@ race:
 	$(GO) test -race ./...
 
 # Audit fan-out family, the write-path batching/cleaner fan-out
-# family, plus the paper's figure/experiment benchmarks.
+# family, the sync/replay durability family, plus the paper's
+# figure/experiment benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkAudit -benchtime 1x .
-	$(GO) test -run '^$$' -bench 'BenchmarkFSAppend|BenchmarkClean' -benchtime 1x ./internal/lfs
+	$(GO) test -run '^$$' -bench 'BenchmarkFSAppend|BenchmarkClean|BenchmarkSync|BenchmarkMountReplay' -benchtime 1x ./internal/lfs
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
 
-# Short fuzz passes over the image loader (the §5.2 trust boundary)
-# and the file-system op stream (checkpoint/acked-data durability).
+# Short fuzz passes over the image loader (the §5.2 trust boundary),
+# the file-system op stream (checkpoint/acked-data durability), and
+# the roll-forward recovery path (random ops + random crash points;
+# mount must never error on a torn summary tail).
 fuzz:
 	$(GO) test -run FuzzLoadImage -fuzz FuzzLoadImage -fuzztime 20s .
 	$(GO) test -run FuzzFSOps -fuzz FuzzFSOps -fuzztime 20s ./internal/lfs
+	$(GO) test -run FuzzReplay -fuzz FuzzReplay -fuzztime 20s ./internal/lfs
 
 ci: build vet test race

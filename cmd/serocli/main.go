@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	serocli [-blocks N] [-j workers] [-writeback N]
+//	serocli [-blocks N] [-j workers] [-writeback N] [-ckpt-every N]
 package main
 
 import (
@@ -22,18 +22,34 @@ func main() {
 	blocks := flag.Int("blocks", 2048, "device size in 512-byte blocks")
 	workers := flag.Int("j", 1, "audit and cleaner concurrency (worker count; 1 = serial)")
 	writeback := flag.Int("writeback", 0, "group-commit granularity in blocks (1 = block-at-a-time, 0 = whole segments)")
+	ckptEvery := flag.Int("ckpt-every", 128, "checkpoint interval in appended blocks (1 = checkpoint every sync)")
 	flag.Parse()
-	if err := run(*blocks, *workers, *writeback); err != nil {
+	// Nonsensical values are rejected with a clear error rather than
+	// silently clamped by the library.
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "serocli: -j must be positive (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *writeback < 0 {
+		fmt.Fprintf(os.Stderr, "serocli: -writeback must be 0 (whole segments) or positive (got %d)\n", *writeback)
+		os.Exit(2)
+	}
+	if *ckptEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "serocli: -ckpt-every must be positive (got %d)\n", *ckptEvery)
+		os.Exit(2)
+	}
+	if err := run(*blocks, *workers, *writeback, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "serocli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blocks, workers, writeback int) error {
+func run(blocks, workers, writeback, ckptEvery int) error {
 	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
 	fs, err := sero.NewFS(dev, sero.FSOptions{
 		SegmentBlocks:   32,
 		WritebackBlocks: writeback,
+		CheckpointEvery: ckptEvery,
 		HeatAware:       true,
 		Concurrency:     workers,
 	})
@@ -90,5 +106,8 @@ func run(blocks, workers, writeback int) error {
 	st := dev.Lifecycle()
 	fmt.Printf("lifecycle: %d/%d blocks read-only (%.1f%%), virtual time %v\n",
 		st.HeatedBlocks, st.TotalBlocks, st.ReadOnlyRatio*100, st.VirtualTime)
+	fst := fs.Stats()
+	fmt.Printf("durability: %d syncs acked by %d summary records + %d checkpoints (ckpt-every=%d blocks)\n",
+		fst.Syncs, fst.JournalRecords, fst.Checkpoints, ckptEvery)
 	return nil
 }

@@ -15,3 +15,9 @@ func TestRunUnknownMode(t *testing.T) {
 		t.Fatal("unknown attack mode accepted")
 	}
 }
+
+func TestFsckJournal(t *testing.T) {
+	if err := fsckJournal(1024, 2); err != nil {
+		t.Fatal(err)
+	}
+}

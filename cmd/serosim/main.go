@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	serosim [-seed N] [experiment ...]
+//	serosim [-seed N] [-j workers] [-writeback N] [-ckpt-every N] [experiment ...]
 //
 // With no arguments every experiment runs. Experiments:
 //
@@ -25,6 +25,8 @@
 //	e11-worm    §2 WORM technology comparison under the rewrite attack
 //	e12-ffs     heat clustering across FS designs (LFS vs FFS-style)
 //	e13-scrub   background-scrub tradeoff: detection latency vs overhead
+//	e14-writepath batched write pipeline: group commit and cleaner fan-out
+//	e15-recovery  roll-forward recovery: sync latency vs replay time
 package main
 
 import (
@@ -40,14 +42,30 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed for stochastic experiments")
 	workers := flag.Int("j", 4, "cleaner fan-out width for e14-writepath (1 = serial)")
 	writeback := flag.Int("writeback", 0, "group-commit granularity for e14-writepath (1 = block-at-a-time, 0 = whole segments)")
+	ckptEvery := flag.Int("ckpt-every", 256, "extra checkpoint interval (appended blocks) swept by e15-recovery")
 	flag.Parse()
-	fsFlags = fsFlagValues{workers: *workers, writeback: *writeback}
+	// Nonsensical values are rejected, not silently clamped: a typo'd
+	// experiment configuration should fail loudly, not quietly measure
+	// something else.
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "serosim: -j must be positive (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *writeback < 0 {
+		fmt.Fprintf(os.Stderr, "serosim: -writeback must be 0 (whole segments) or positive (got %d)\n", *writeback)
+		os.Exit(2)
+	}
+	if *ckptEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "serosim: -ckpt-every must be positive (got %d)\n", *ckptEvery)
+		os.Exit(2)
+	}
+	fsFlags = fsFlagValues{workers: *workers, writeback: *writeback, ckptEvery: *ckptEvery}
 
 	all := []string{
 		"fig2", "fig3", "fig7", "fig8", "fig9",
 		"e1-latency", "e2-gc", "e3-bimodal", "e4-attacks",
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
-		"e14-writepath",
+		"e14-writepath", "e15-recovery",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -158,17 +176,24 @@ func run(name string, seed uint64) error {
 			return err
 		}
 		fmt.Print(res.Table())
+	case "e15-recovery":
+		res, err := experiments.RunE15(192, 96, fsFlags.ckptEvery)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
 }
 
-// fsFlagValues carries the -j/-writeback settings into run without
-// threading them through every experiment's arguments.
+// fsFlagValues carries the -j/-writeback/-ckpt-every settings into run
+// without threading them through every experiment's arguments.
 type fsFlagValues struct {
 	workers   int
 	writeback int
+	ckptEvery int
 }
 
-var fsFlags = fsFlagValues{workers: 4}
+var fsFlags = fsFlagValues{workers: 4, ckptEvery: 256}

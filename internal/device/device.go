@@ -155,6 +155,29 @@ type Device struct {
 
 	// conc is the default fan-out width for VerifyLines and Scan.
 	conc atomic.Int32
+
+	// wobs, when set, observes every committed magnetic block write in
+	// commit order — the crash-injection harness's tap point.
+	wobs atomic.Pointer[WriteObserver]
+}
+
+// WriteObserver observes one committed magnetic block write: pba and
+// the 512-byte payload (valid only for the duration of the call; copy
+// to retain). Observers run under the written blocks' stripe locks and
+// may be invoked from concurrent worker planes, so they must be
+// internally synchronised and fast.
+type WriteObserver func(pba uint64, data []byte)
+
+// SetWriteObserver installs fn as the device's write observer (nil
+// uninstalls). This exists for test instrumentation — the
+// crash-injection harness records the exact block-write stream so a
+// medium can be reconstructed as of any write boundary.
+func (d *Device) SetWriteObserver(fn WriteObserver) {
+	if fn == nil {
+		d.wobs.Store(nil)
+		return
+	}
+	d.wobs.Store(&fn)
 }
 
 // plane is one independent latency-accounting context: a probe array
@@ -519,6 +542,11 @@ func (d *Device) writeRunOn(pl *plane, start uint64, blocks [][]byte) {
 		st.MagneticWrites += uint64(len(blocks))
 		st.MagneticWriteNS += elapsed
 	})
+	if fn := d.wobs.Load(); fn != nil {
+		for i, data := range blocks {
+			(*fn)(start+uint64(i), data)
+		}
+	}
 }
 
 // WriteBlocks magnetically writes len(blocks) consecutive sectors

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sero/internal/device"
+	"sero/internal/lfs"
+)
+
+// E15 — roll-forward recovery. Sweeps the checkpoint interval and
+// measures the two sides of the trade the segment journal buys:
+// sync latency (a summary-tail ack costs one batched write scaled by
+// the delta; a checkpointed ack rewrites metadata proportional to the
+// file population) versus mount-time replay (the checkpoint is just a
+// replay shortcut — the further apart checkpoints are, the longer the
+// summary tail a mount rolls forward).
+
+// E15Row is one checkpoint-interval configuration.
+type E15Row struct {
+	// CheckpointEvery is the interval in appended blocks; 1 means
+	// every non-empty Sync checkpoints (the pre-journal behaviour).
+	CheckpointEvery int
+	// SyncNS is the mean virtual latency of one small-append Sync.
+	SyncNS time.Duration
+	// Checkpoints and Records count how the syncs were acked.
+	Checkpoints, Records uint64
+	// MountNS is the virtual cost of mounting the resulting image.
+	MountNS time.Duration
+	// ReplayRecords is the summary-tail length the mount rolled
+	// forward.
+	ReplayRecords int
+}
+
+// E15Result holds the recovery sweep.
+type E15Result struct {
+	Files, Syncs int
+	Rows         []E15Row
+}
+
+// RunE15 sweeps checkpoint intervals (in appended blocks) over a
+// population of files files and syncs small-append syncs each, then
+// mounts each image and measures replay. extra, when positive, is
+// appended to the standard sweep (the -ckpt-every flag).
+func RunE15(files, syncs, extra int) (E15Result, error) {
+	res := E15Result{Files: files, Syncs: syncs}
+	intervals := []int{1, 64, 256, 1024, 1 << 20}
+	if extra > 0 {
+		dup := false
+		for _, iv := range intervals {
+			if iv == extra {
+				dup = true
+			}
+		}
+		if !dup {
+			intervals = append(intervals, extra)
+		}
+	}
+	for _, every := range intervals {
+		dev := quietDevice(16384)
+		fs, err := lfs.New(dev, lfs.Params{
+			SegmentBlocks: 64, CheckpointBlocks: 64, WritebackBlocks: 64,
+			CheckpointEvery: every, HeatAware: true, ReserveSegments: 2,
+		})
+		if err != nil {
+			return res, err
+		}
+		inos := make([]lfs.Ino, files)
+		for i := range inos {
+			if inos[i], err = fs.Create(fmt.Sprintf("f%04d", i), 0); err != nil {
+				return res, err
+			}
+			if err := fs.WriteFile(inos[i], make([]byte, device.DataBytes)); err != nil {
+				return res, err
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			return res, err
+		}
+		base := fs.Stats()
+		data := make([]byte, device.DataBytes)
+		start := dev.Clock().Now()
+		for n := 0; n < syncs; n++ {
+			if err := fs.Write(inos[n%files], 0, data); err != nil {
+				return res, err
+			}
+			if err := fs.Sync(); err != nil {
+				return res, err
+			}
+		}
+		syncCost := (dev.Clock().Now() - start) / time.Duration(syncs)
+		st := fs.Stats()
+
+		t0 := dev.Clock().Now()
+		if _, err := lfs.Mount(dev, fs.Params()); err != nil {
+			return res, err
+		}
+		mountCost := dev.Clock().Now() - t0
+		rep, err := lfs.CheckJournal(dev, fs.Params())
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, E15Row{
+			CheckpointEvery: every,
+			SyncNS:          syncCost,
+			Checkpoints:     st.Checkpoints - base.Checkpoints,
+			Records:         st.JournalRecords - base.JournalRecords,
+			MountNS:         mountCost,
+			ReplayRecords:   rep.Records,
+		})
+	}
+	return res, nil
+}
+
+// Table renders E15.
+func (r E15Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E15 — roll-forward recovery: sync latency vs replay time (%d files, %d small-append syncs)\n",
+		r.Files, r.Syncs)
+	b.WriteString("ckpt-every    sync-cost   ckpts  records   mount-cost  replayed\n")
+	for _, row := range r.Rows {
+		every := fmt.Sprintf("%d", row.CheckpointEvery)
+		if row.CheckpointEvery >= 1<<20 {
+			every = "never"
+		}
+		fmt.Fprintf(&b, "%-10s %12v %7d %8d %12v %9d\n",
+			every, row.SyncNS, row.Checkpoints, row.Records, row.MountNS, row.ReplayRecords)
+	}
+	if len(r.Rows) > 1 {
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		fmt.Fprintf(&b, "journaled sync is %.1fx cheaper than checkpointed; replay pays %v per mount at the longest tail\n",
+			float64(first.SyncNS)/float64(last.SyncNS), last.MountNS)
+	}
+	return b.String()
+}

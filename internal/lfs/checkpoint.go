@@ -4,29 +4,79 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"sero/internal/device"
 )
 
-// Checkpointing and mount. The checkpoint region at the front of the
-// device holds the serialized imap and directory; everything else
-// (segment live counts, owners, pins) is reconstructed by walking the
-// inodes and asking the device for its heated lines. Classic LFS
-// writes the imap into the log and checkpoints pointers to it; a full
-// serialization is simpler and the region is tiny compared to the log.
+// Checkpointing. The checkpoint region at the front of the device is
+// split into two alternating slots; epoch N lands in slot (N-1)%2, so
+// a crash tearing the slot being written always leaves the previous
+// checkpoint intact — Mount picks the newest valid slot and rolls
+// forward through that epoch's summary chain (replay.go). Each slot
+// holds the serialized imap and directory plus the journal anchor
+// (epoch, virtual write time, chain start); everything else (segment
+// live counts, owners, pins) is reconstructed by walking the inodes
+// and asking the device for its heated lines.
+//
+// A checkpoint is a replay shortcut, not the unit of durability:
+// Sync normally appends a summary record and leaves the checkpoint
+// alone. Checkpoints are written when the policy says so
+// (Params.CheckpointEvery appended blocks), on explicit Checkpoint(),
+// and whenever a delta cannot be journaled.
 
-const ckptMagic = "SCKP"
+const ckptMagic = "SCK2"
 
-// ErrBadCheckpoint reports an unreadable or corrupt checkpoint.
+// ErrBadCheckpoint reports that no valid checkpoint slot exists.
 var ErrBadCheckpoint = errors.New("lfs: bad checkpoint")
 
-// writeCheckpointLocked serializes imap+directory into the checkpoint
-// region.
+// slotBlocks is the size of one checkpoint slot in blocks.
+func (fs *FS) slotBlocks() int { return fs.p.CheckpointBlocks / 2 }
+
+// ckptSum is the integrity checksum over a serialized checkpoint.
+func ckptSum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// writeCheckpointLocked serializes imap+directory into the next
+// checkpoint slot and re-anchors the summary chain at the affinity-0
+// write frontier, where the slot's jstart names the promise block the
+// first record of the new epoch must land in.
 func (fs *FS) writeCheckpointLocked() error {
+	epoch := fs.ckptEpoch + 1
+	// Pick the anchor: the next free block of the affinity-0 appender.
+	// The slot is only reserved — and the chain state only reset —
+	// after the checkpoint write succeeds, so a failed or torn
+	// checkpoint leaves the previous chain fully intact for fallback.
+	var jstart uint64
+	seg := fs.active[0]
+	if seg != nil && seg.next >= fs.p.SegmentBlocks {
+		if err := fs.sealSegment(seg); err != nil {
+			return err
+		}
+		seg = nil
+	}
+	if seg == nil {
+		if seg = fs.sm.allocSegment(0); seg != nil {
+			fs.active[0] = seg
+		}
+	}
+	if seg != nil {
+		jstart = seg.start + uint64(seg.next)
+	}
+	// jstart == 0 means no free segment was left to anchor a chain:
+	// the log base is never 0, so replay reads it as "no chain" and
+	// every following Sync falls back to a full checkpoint.
+
 	var buf []byte
 	buf = append(buf, ckptMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(fs.now()))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(fs.next))
+	buf = binary.BigEndian.AppendUint64(buf, jstart)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(fs.imap)))
 	inos := make([]Ino, 0, len(fs.imap))
 	for ino := range fs.imap {
@@ -52,14 +102,16 @@ func (fs *FS) writeCheckpointLocked() error {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(fs.dir[n]))
 	}
 
-	// Frame with total length, split across checkpoint blocks, and
-	// commit the region as one batched write command.
+	// Frame with total length and checksum, split across the slot's
+	// blocks, and commit as one batched write command.
 	framed := binary.BigEndian.AppendUint64(nil, uint64(len(buf)))
 	framed = append(framed, buf...)
+	framed = binary.BigEndian.AppendUint64(framed, ckptSum(buf))
+	slot := fs.slotBlocks()
 	needBlocks := (len(framed) + device.DataBytes - 1) / device.DataBytes
-	if needBlocks > fs.p.CheckpointBlocks {
-		return fmt.Errorf("lfs: checkpoint of %d blocks exceeds region %d",
-			needBlocks, fs.p.CheckpointBlocks)
+	if needBlocks > slot {
+		return fmt.Errorf("lfs: checkpoint of %d blocks exceeds slot of %d (region %d)",
+			needBlocks, slot, fs.p.CheckpointBlocks)
 	}
 	blocks := make([][]byte, needBlocks)
 	for i := 0; i < needBlocks; i++ {
@@ -71,127 +123,133 @@ func (fs *FS) writeCheckpointLocked() error {
 		copy(blockBuf, framed[i*device.DataBytes:end])
 		blocks[i] = blockBuf
 	}
-	if err := fs.dev.WriteBlocks(0, blocks); err != nil {
+	base := uint64((epoch - 1) % 2 * uint64(slot))
+	if err := fs.dev.WriteBlocks(base, blocks); err != nil {
+		// Nothing was reserved and the chain state is untouched: the
+		// previous checkpoint and its chain remain authoritative.
 		return fmt.Errorf("lfs: writing checkpoint: %w", err)
 	}
+	// The old chain is obsolete now that the checkpoint is on the
+	// medium: release its segments to the cleaner and reserve the new
+	// anchor's promise slot.
+	for _, s := range fs.sm.segs {
+		s.journal = false
+	}
+	fs.jpromise = jstart
+	if seg != nil {
+		seg.next++
+		seg.journal = true
+	}
+	fs.ckptEpoch = epoch
+	fs.jepoch = epoch
+	fs.jseq = 1
+	fs.jchain = chainSeed(epoch)
+	fs.appended = 0
+	fs.clearDeltasLocked()
+	fs.stats.Checkpoints++
 	return nil
 }
 
-// Mount reconstructs a file system from a device previously formatted
-// and synced by this package. All in-memory state (live maps, segment
-// states, pins) is rebuilt from the checkpoint, the inodes it
-// references, and the device's heated-line registry.
-func Mount(dev *device.Device, p Params) (*FS, error) {
-	fs, err := New(dev, p)
+// ckptImage is one parsed checkpoint slot.
+type ckptImage struct {
+	epoch     uint64
+	writtenAt uint64
+	next      Ino
+	jstart    uint64
+	imap      map[Ino]uint64
+	dir       map[string]Ino
+}
+
+// readSlot parses the checkpoint slot at the given base block. A nil
+// return means the slot holds no valid checkpoint — unwritten, torn,
+// or corrupt; the caller decides whether that is fatal.
+func (fs *FS) readSlot(base uint64) *ckptImage {
+	first, err := fs.dev.MRS(base)
 	if err != nil {
-		return nil, err
-	}
-	// Read the framed checkpoint.
-	first, err := dev.MRS(0)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		return nil
 	}
 	total := binary.BigEndian.Uint64(first[:8])
-	if total == 0 || total > uint64(fs.p.CheckpointBlocks*device.DataBytes) {
-		return nil, fmt.Errorf("%w: length %d", ErrBadCheckpoint, total)
+	slotBytes := uint64(fs.slotBlocks() * device.DataBytes)
+	if total == 0 || total > slotBytes-16 {
+		return nil
 	}
 	framed := append([]byte(nil), first...)
-	for len(framed) < int(total)+8 {
-		blk := uint64(len(framed) / device.DataBytes)
-		data, rerr := dev.MRS(blk)
+	for uint64(len(framed)) < total+16 {
+		blk := base + uint64(len(framed)/device.DataBytes)
+		data, rerr := fs.dev.MRS(blk)
 		if rerr != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", ErrBadCheckpoint, blk, rerr)
+			return nil
 		}
 		framed = append(framed, data...)
 	}
 	buf := framed[8 : 8+total]
-	if string(buf[:4]) != ckptMagic {
-		return nil, fmt.Errorf("%w: magic", ErrBadCheckpoint)
+	if ckptSum(buf) != binary.BigEndian.Uint64(framed[8+total:16+total]) {
+		return nil
 	}
-	off := 4
-	fs.next = Ino(binary.BigEndian.Uint64(buf[off:]))
-	off += 8
+	if len(buf) < 40 || string(buf[:4]) != ckptMagic {
+		return nil
+	}
+	ck := &ckptImage{
+		epoch:     binary.BigEndian.Uint64(buf[4:12]),
+		writtenAt: binary.BigEndian.Uint64(buf[12:20]),
+		next:      Ino(binary.BigEndian.Uint64(buf[20:28])),
+		jstart:    binary.BigEndian.Uint64(buf[28:36]),
+		imap:      make(map[Ino]uint64),
+		dir:       make(map[string]Ino),
+	}
+	if ck.epoch == 0 {
+		return nil
+	}
+	off := 36
 	nImap := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
+	if off+16*nImap > len(buf) {
+		return nil
+	}
 	for i := 0; i < nImap; i++ {
 		ino := Ino(binary.BigEndian.Uint64(buf[off:]))
 		pba := binary.BigEndian.Uint64(buf[off+8:])
 		off += 16
-		fs.imap[ino] = pba
+		ck.imap[ino] = pba
+	}
+	if off+4 > len(buf) {
+		return nil
 	}
 	nDir := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
 	for i := 0; i < nDir; i++ {
+		if off+1 > len(buf) {
+			return nil
+		}
 		nl := int(buf[off])
 		off++
+		if off+nl+8 > len(buf) {
+			return nil
+		}
 		name := string(buf[off : off+nl])
 		off += nl
 		ino := Ino(binary.BigEndian.Uint64(buf[off:]))
 		off += 8
-		fs.dir[name] = ino
-		fs.names[ino] = name
+		ck.dir[name] = ino
 	}
+	return ck
+}
 
-	// Rebuild liveness and segment state by walking the inodes in ino
-	// order. The inode reads advance the device clock, so the walk
-	// loads everything first and then stamps all liveness with one
-	// timestamp: mount-time segment ages — and with them the cleaner's
-	// future victim choices — must not depend on map iteration order.
-	inos := make([]Ino, 0, len(fs.imap))
-	for ino := range fs.imap {
-		inos = append(inos, ino)
+// loadBestCheckpoint parses both slots and returns the valid one with
+// the highest epoch, or nil when neither slot holds a checkpoint.
+func (fs *FS) loadBestCheckpoint() *ckptImage {
+	a := fs.readSlot(0)
+	b := fs.readSlot(uint64(fs.slotBlocks()))
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.epoch >= b.epoch:
+		return a
+	default:
+		return b
 	}
-	sortInos(inos)
-	for _, ino := range inos {
-		if _, ierr := fs.loadInodeAt(ino, fs.imap[ino]); ierr != nil {
-			return nil, ierr
-		}
-	}
-	now := fs.now()
-	maxSeg := -1
-	for _, ino := range inos {
-		ipba := fs.imap[ino]
-		in, _ := fs.cachedInode(ino)
-		if !in.Heated() {
-			fs.sm.markLive(ipba, now)
-			fs.owners[ipba] = blockRef{ino: ino, idx: -1}
-			for idx, pba := range in.Blocks {
-				if pba == 0 {
-					continue // hole sentinel, not a data block
-				}
-				fs.sm.markLive(pba, now)
-				fs.owners[pba] = blockRef{ino: ino, idx: idx}
-			}
-		}
-		for _, pba := range in.Blocks {
-			if s := fs.sm.segOf(pba); s != nil && s.id > maxSeg {
-				maxSeg = s.id
-			}
-		}
-		if s := fs.sm.segOf(ipba); s != nil && s.id > maxSeg {
-			maxSeg = s.id
-		}
-	}
-	// Pin segments containing heated lines, per the device registry.
-	for _, li := range dev.Lines() {
-		fs.sm.pin(li.Start, int(li.Blocks()))
-		if s := fs.sm.segOf(li.Start); s != nil && s.id > maxSeg {
-			maxSeg = s.id
-		}
-	}
-	// Segments up to the high-water mark that hold live or heated data
-	// are full; the rest are free. (Active appenders are not restored;
-	// new writes open fresh segments.)
-	for _, s := range fs.sm.segs {
-		if s.state == SegPinned {
-			continue
-		}
-		if s.live > 0 {
-			s.state = SegFull
-			s.next = fs.p.SegmentBlocks
-		}
-	}
-	return fs, nil
 }
 
 // loadInodeAt reads and caches an inode from a specific block.

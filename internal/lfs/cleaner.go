@@ -104,6 +104,13 @@ func (fs *FS) pickVictims(k int, cs *CleanStats) []*segment {
 	now := fs.now()
 	var cands []cand
 	for _, s := range fs.sm.segs {
+		if s.journal {
+			// The segment holds part of the current epoch's roll-forward
+			// chain: recycling it would sever the replay a crash-mount
+			// depends on. Like SegFreeing, it waits for the next
+			// checkpoint (which clears the flag).
+			continue
+		}
 		switch s.state {
 		case SegPinned:
 			// A heat-oblivious FS would try to clean these and get
@@ -219,6 +226,7 @@ plan:
 			in.Blocks[ref.idx] = mv.Dst
 			fs.sm.markLive(mv.Dst, fs.now())
 			fs.owners[mv.Dst] = blockRef{ino: ref.ino, idx: ref.idx}
+			fs.jBlocks = append(fs.jBlocks, blockPtr{ino: ref.ino, idx: int32(ref.idx), pba: mv.Dst})
 			cs.BlocksCopied++
 		}
 	}

@@ -143,6 +143,119 @@ func TestConcurrentFSStress(t *testing.T) {
 	}
 }
 
+// TestConcurrentFSStressCrashRecovery is the roll-forward variant of
+// the stress test: 16 goroutines hammer an FS whose syncs ride the
+// summary tail (checkpoints far apart), with renames in the mix, and
+// the final state is then recovered through a replayed Mount — the
+// journal and replay machinery under the race detector.
+func TestConcurrentFSStressCrashRecovery(t *testing.T) {
+	const (
+		workers    = 16
+		filesPerG  = 2
+		roundsPerG = 10
+	)
+	p := Params{
+		SegmentBlocks:    32,
+		CheckpointBlocks: 32,
+		WritebackBlocks:  32,
+		CheckpointEvery:  1 << 20, // everything after the first sync journals
+		HeatAware:        true,
+		ReserveSegments:  2,
+		Concurrency:      4,
+	}
+	fs := testFS(t, 8192, p)
+	if err := fs.Sync(); err != nil { // anchoring checkpoint
+		t.Fatal(err)
+	}
+
+	type fileState struct {
+		name string
+		ino  Ino
+		want []byte
+	}
+	finals := make([][]fileState, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + g)))
+			files := make([]fileState, filesPerG)
+			for i := range files {
+				name := fmt.Sprintf("j%02d-f%d", g, i)
+				ino, err := fs.Create(name, uint8(g%4))
+				if err != nil {
+					t.Errorf("g%d create %s: %v", g, name, err)
+					return
+				}
+				files[i] = fileState{name: name, ino: ino}
+			}
+			for round := 0; round < roundsPerG; round++ {
+				f := &files[rng.Intn(filesPerG)]
+				switch op := rng.Intn(10); {
+				case op < 5: // write
+					data := payload(byte(g*16+round), (1+rng.Intn(3))*device.DataBytes)
+					if err := fs.WriteFile(f.ino, data); err != nil {
+						t.Errorf("g%d write %s: %v", g, f.name, err)
+						return
+					}
+					if len(data) > len(f.want) {
+						f.want = append([]byte(nil), data...)
+					} else {
+						copy(f.want, data)
+					}
+				case op < 7: // sync (journal record)
+					if err := fs.Sync(); err != nil {
+						t.Errorf("g%d sync: %v", g, err)
+						return
+					}
+				case op < 8: // rename within this goroutine's namespace
+					newName := fmt.Sprintf("j%02d-r%d", g, round)
+					if err := fs.Rename(f.name, newName); err != nil {
+						t.Errorf("g%d rename %s: %v", g, f.name, err)
+						return
+					}
+					f.name = newName
+				default: // read back
+					got, err := fs.ReadFile(f.ino)
+					if err != nil || !bytes.Equal(got, f.want) {
+						t.Errorf("g%d read %s: torn content (%v)", g, f.name, err)
+						return
+					}
+				}
+			}
+			finals[g] = files
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.JournalRecords == 0 {
+		t.Fatalf("stress ran without journal records: %+v", st)
+	}
+	// Crash-recover: everything above must come back through replay.
+	fs2, err := Mount(fs.Device(), fs.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, files := range finals {
+		for _, f := range files {
+			ino, err := fs2.Lookup(f.name)
+			if err != nil || ino != f.ino {
+				t.Fatalf("g%d file %s lost in replay: %v", g, f.name, err)
+			}
+			got, err := fs2.ReadFile(ino)
+			if err != nil || !bytes.Equal(got, f.want) {
+				t.Fatalf("g%d file %s content lost in replay: %v", g, f.name, err)
+			}
+		}
+	}
+}
+
 // buildFragmentedFS fills a fresh FS with files and then invalidates
 // half of every file's blocks, producing a victim population at ~50 %
 // utilisation. Identical inputs produce identical state.

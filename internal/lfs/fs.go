@@ -40,6 +40,14 @@ type Params struct {
 	// identical for any value (destinations are planned serially).
 	Concurrency int
 
+	// CheckpointEvery is the background checkpoint policy, in blocks
+	// appended to the log since the last checkpoint: Sync writes a full
+	// checkpoint once at least this many blocks have been appended, and
+	// only a summary record (the roll-forward journal tail) otherwise.
+	// 1 checkpoints every non-empty Sync — the pre-journal behaviour.
+	// 0 defaults to four segments' worth; negative values are invalid.
+	CheckpointEvery int
+
 	// HeatAware enables the SERO policies of §4.1: heated lines are
 	// clustered into dedicated segments and the cleaner skips them.
 	// Disabling it models a heat-oblivious LFS that mixes heated lines
@@ -57,6 +65,7 @@ func DefaultParams() Params {
 		SegmentBlocks:    64,
 		CheckpointBlocks: 64,
 		WritebackBlocks:  64,
+		CheckpointEvery:  256,
 		HeatAware:        true,
 		ReserveSegments:  2,
 		Concurrency:      1,
@@ -133,6 +142,32 @@ type FS struct {
 	// own log appends.
 	cleaning bool
 
+	// Roll-forward journal state (summary.go, replay.go). The summary
+	// chain lives in the data log at the affinity-0 write frontier:
+	// jpromise is the reserved slot the next chain element must land
+	// in (0 = journal disabled until the next checkpoint), jseq and
+	// jchain the next element's sequence number and running chain
+	// checksum.
+	jpromise uint64
+	jseq     uint64
+	jchain   uint64
+	jepoch   uint64
+	// ckptEpoch is the epoch of the last checkpoint on the medium
+	// (0 = none yet — the first Sync must checkpoint).
+	ckptEpoch uint64
+	// appended counts blocks appended since that checkpoint — the
+	// CheckpointEvery policy input.
+	appended uint64
+	// Pending deltas since the last summary record or checkpoint:
+	// ordered directory ops, inodes whose imap entry changed, and
+	// per-block back-pointers of appended data.
+	jDirOps []dirOp
+	jImap   map[Ino]bool
+	jBlocks []blockPtr
+	// jtrace records what a Mount's roll-forward pass saw (nil on a
+	// freshly formatted FS); CheckJournal reports from it.
+	jtrace *replayTrace
+
 	stats Stats
 }
 
@@ -147,6 +182,9 @@ type Stats struct {
 	HeatedFiles     uint64
 	HeatedLineBlock uint64
 	Syncs           uint64
+	Checkpoints     uint64 // full checkpoint-region writes
+	JournalRecords  uint64 // summary-tail records written by Sync
+	JournalBlocks   uint64 // log blocks consumed by the journal (incl. jumps)
 }
 
 // New formats a fresh file system on dev.
@@ -174,6 +212,15 @@ func New(dev *device.Device, p Params) (*FS, error) {
 		ckpt += p.SegmentBlocks - rem
 	}
 	p.CheckpointBlocks = ckpt
+	if ckpt < 2 {
+		return nil, fmt.Errorf("lfs: checkpoint region of %d blocks cannot hold two slots", ckpt)
+	}
+	if p.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("lfs: negative checkpoint interval %d", p.CheckpointEvery)
+	}
+	if p.CheckpointEvery == 0 {
+		p.CheckpointEvery = 4 * p.SegmentBlocks
+	}
 	if p.WritebackBlocks <= 0 {
 		p.WritebackBlocks = p.SegmentBlocks
 	}
@@ -202,6 +249,7 @@ func New(dev *device.Device, p Params) (*FS, error) {
 		heatCursor: make(map[uint8]int),
 		dirty:      make(map[Ino]map[int][]byte),
 		pendSize:   make(map[Ino]uint64),
+		jImap:      make(map[Ino]bool),
 	}
 	return fs, nil
 }
@@ -229,6 +277,9 @@ func (fs *FS) Create(name string, affinity uint8) (Ino, error) {
 	if name == "" {
 		return 0, errors.New("lfs: empty file name")
 	}
+	if len(name) > 255 {
+		return 0, fmt.Errorf("lfs: name %q too long", name)
+	}
 	if _, ok := fs.dir[name]; ok {
 		return 0, fmt.Errorf("%w: %s", ErrExists, name)
 	}
@@ -237,7 +288,34 @@ func (fs *FS) Create(name string, affinity uint8) (Ino, error) {
 	fs.cacheInode(&Inode{Ino: ino, Affinity: affinity, MTime: fs.now()})
 	fs.dir[name] = ino
 	fs.names[ino] = name
+	fs.jDirOps = append(fs.jDirOps, dirOp{op: dirOpCreate, ino: ino, affinity: affinity, name: name})
 	return ino, nil
+}
+
+// Rename gives a file a new name. The target name must not exist.
+// Renaming a heated file is allowed: the name lives in the directory,
+// not inside the tamper-evident line.
+func (fs *FS) Rename(oldName, newName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if newName == "" {
+		return errors.New("lfs: empty file name")
+	}
+	if len(newName) > 255 {
+		return fmt.Errorf("lfs: name %q too long", newName)
+	}
+	ino, ok := fs.dir[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldName)
+	}
+	if _, ok := fs.dir[newName]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, newName)
+	}
+	delete(fs.dir, oldName)
+	fs.dir[newName] = ino
+	fs.names[ino] = newName
+	fs.jDirOps = append(fs.jDirOps, dirOp{op: dirOpRename, ino: ino, name: oldName, newName: newName})
+	return nil
 }
 
 // Lookup resolves a name to an inode number.
@@ -495,6 +573,8 @@ func (fs *FS) Delete(name string) error {
 	delete(fs.pendSize, ino)
 	delete(fs.dir, name)
 	delete(fs.names, ino)
+	fs.jDirOps = append(fs.jDirOps, dirOp{op: dirOpRemove, ino: ino, name: name})
+	fs.jImap[ino] = true
 	return nil
 }
 
@@ -531,11 +611,14 @@ func (fs *FS) flushSegment(seg *segment) error {
 	return nil
 }
 
-// flushActiveLocked group-commits every active appender's buffer, in
-// affinity order for determinism.
-func (fs *FS) flushActiveLocked() error {
+// flushAffinitiesLocked group-commits active appender buffers in
+// affinity order for determinism, optionally skipping affinity 0.
+func (fs *FS) flushAffinitiesLocked(skipZero bool) error {
 	affs := make([]int, 0, len(fs.active))
 	for a := range fs.active {
+		if skipZero && a == 0 {
+			continue
+		}
 		affs = append(affs, int(a))
 	}
 	sortInts(affs)
@@ -546,6 +629,14 @@ func (fs *FS) flushActiveLocked() error {
 	}
 	return nil
 }
+
+// flushActiveLocked group-commits every active appender's buffer.
+func (fs *FS) flushActiveLocked() error { return fs.flushAffinitiesLocked(false) }
+
+// flushOtherAffinitiesLocked group-commits every buffer except the
+// affinity-0 appender's, which the summary-tail sync flushes inside
+// the record's own command.
+func (fs *FS) flushOtherAffinitiesLocked() error { return fs.flushAffinitiesLocked(true) }
 
 // appendBlock appends data to the log in the affinity's active
 // segment and returns its PBA, cleaning first when free space is low.
@@ -581,6 +672,7 @@ func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 	seg.pending = append(seg.pending, data)
 	seg.modTime = fs.now()
 	fs.stats.BlocksAppended++
+	fs.appended++
 	if len(seg.pending) >= fs.p.WritebackBlocks {
 		if err := fs.flushSegment(seg); err != nil {
 			return 0, err
@@ -590,11 +682,33 @@ func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 }
 
 // Sync flushes all dirty data and inodes to the log, group-commits
-// the active segments, and writes a checkpoint.
+// the active segments, and acks durability the cheap way: it appends
+// one summary record to the roll-forward journal — one batched write
+// command — instead of rewriting the checkpoint region. A full
+// checkpoint is written only when the CheckpointEvery policy says one
+// is due, when no journal space is available, or when the delta is
+// too large for a single record.
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.syncLocked()
+}
+
+// Checkpoint forces a full checkpoint: it flushes everything a Sync
+// would and rewrites the checkpoint region, resetting the journal
+// chain so the replayable tail is empty. Use it to bound mount-time
+// replay when the workload syncs far more often than the background
+// policy checkpoints.
+func (fs *FS) Checkpoint() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.ensureSyncSpaceLocked(); err != nil {
+		return err
+	}
+	if err := fs.flushDirtyLocked(); err != nil {
+		return err
+	}
+	return fs.syncMetaLocked()
 }
 
 // unwedgeFreeingLocked releases cleaner-gated segments when the FS is
@@ -648,7 +762,24 @@ func (fs *FS) syncLocked() error {
 	if err := fs.ensureSyncSpaceLocked(); err != nil {
 		return err
 	}
-	// Deterministic flush order keeps experiments reproducible.
+	if err := fs.flushDirtyLocked(); err != nil {
+		return err
+	}
+	if fs.checkpointDueLocked() {
+		return fs.syncMetaLocked()
+	}
+	err := fs.syncJournalLocked()
+	if errors.Is(err, errJournalFull) {
+		// The delta cannot be journaled (no space, or too large for
+		// one record); a checkpoint captures the same state directly.
+		return fs.syncMetaLocked()
+	}
+	return err
+}
+
+// flushDirtyLocked flushes every dirty inode to the log in
+// deterministic order, so experiments stay reproducible.
+func (fs *FS) flushDirtyLocked() error {
 	inos := make([]Ino, 0, len(fs.dirty))
 	for ino := range fs.dirty {
 		inos = append(inos, ino)
@@ -659,19 +790,21 @@ func (fs *FS) syncLocked() error {
 			return err
 		}
 	}
-	return fs.syncMetaLocked()
+	return nil
 }
 
-// syncMetaLocked makes the current metadata graph durable: it writes
-// inodes for files that have none on the log yet, group-commits every
-// active buffer, writes the checkpoint, and — once the checkpoint is
-// on the medium — releases the cleaner's SegFreeing segments for
-// reuse. Callers must not be mid-flush: every imap entry has to point
-// at a complete inode image (buffered or written).
-func (fs *FS) syncMetaLocked() error {
-	// Files created but never written have no inode on the log yet;
-	// without one the checkpoint would record their directory entry
-	// but no imap entry, leaving them half-existent after a mount.
+// checkpointDueLocked decides whether this Sync must write a full
+// checkpoint: always before the first one exists (there is nothing to
+// roll forward from), whenever the journal is unavailable, and once
+// the CheckpointEvery appended-blocks budget is spent.
+func (fs *FS) checkpointDueLocked() bool {
+	return fs.ckptEpoch == 0 || fs.jpromise == 0 || fs.appended >= uint64(fs.p.CheckpointEvery)
+}
+
+// writeFreshInodesLocked writes inodes for files that have none on the
+// log yet; without one, durable metadata would record their directory
+// entry but no imap entry, leaving them half-existent after a mount.
+func (fs *FS) writeFreshInodesLocked() error {
 	fresh := make([]Ino, 0)
 	for ino := range fs.names {
 		if _, ok := fs.imap[ino]; !ok {
@@ -687,6 +820,21 @@ func (fs *FS) syncMetaLocked() error {
 		if err := fs.writeInode(in); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// syncMetaLocked makes the current metadata graph durable the
+// heavyweight way: it writes inodes for files that have none on the
+// log yet, group-commits every active buffer, writes a full
+// checkpoint, and — once the checkpoint is on the medium — releases
+// the cleaner's SegFreeing segments for reuse. Callers must not be
+// mid-flush: every imap entry has to point at a complete inode image
+// (buffered or written). For the summary-record counterpart, see
+// syncJournalLocked.
+func (fs *FS) syncMetaLocked() error {
+	if err := fs.writeFreshInodesLocked(); err != nil {
+		return err
 	}
 	// Everything the checkpoint is about to ack must be on the medium
 	// before the checkpoint itself is.
@@ -726,6 +874,7 @@ func (fs *FS) flushInode(ino Ino) error {
 		in.Blocks[idx] = pba
 		fs.sm.markLive(pba, fs.now())
 		fs.owners[pba] = blockRef{ino: ino, idx: idx}
+		fs.jBlocks = append(fs.jBlocks, blockPtr{ino: ino, idx: int32(idx), pba: pba})
 	}
 	// The promised size is now backed by blocks on the log.
 	if ps, ok := fs.pendSize[ino]; ok {
@@ -755,6 +904,7 @@ func (fs *FS) writeInode(in *Inode) error {
 	fs.imap[in.Ino] = pba
 	fs.sm.markLive(pba, fs.now())
 	fs.owners[pba] = blockRef{ino: in.Ino, idx: -1}
+	fs.jImap[in.Ino] = true
 	return nil
 }
 

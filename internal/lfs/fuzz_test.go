@@ -152,3 +152,123 @@ func FuzzFSOps(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReplay drives random op sequences — create, write, delete,
+// rename, journaled syncs — against a crash-recorded device, then
+// kills the medium at a fuzz-chosen block boundary and mounts the
+// crash image. The roll-forward invariants: a mount after any acked
+// Sync must never error (a torn summary tail is the *expected* shape
+// of a crash, not a failure), and the recovered state must be exactly
+// one of the acked states — never a torn mixture.
+func FuzzReplay(f *testing.F) {
+	// Seed corpus: checkpoint-only, journal tails of several shapes,
+	// dir-op churn, and crash points near the start, middle and end.
+	f.Add([]byte{0, 1, 2, 1, 2, 1, 2}, uint16(0))
+	f.Add([]byte{0, 8, 16, 1, 9, 2, 1, 17, 2, 25, 2}, uint16(20))
+	f.Add([]byte{0, 2, 1, 2, 3, 2, 4, 8, 2, 0, 2}, uint16(90))
+	f.Add([]byte{0, 1, 2, 64, 65, 2, 66, 2, 128, 130, 2}, uint16(300))
+	f.Add([]byte{0, 2, 4, 2, 0, 2, 3, 2}, uint16(65535))
+	f.Fuzz(func(t *testing.T, ops []byte, crash uint16) {
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		const devBlocks = 1024
+		p := Params{
+			SegmentBlocks:    16,
+			CheckpointBlocks: 16,
+			WritebackBlocks:  0,
+			CheckpointEvery:  40,
+			HeatAware:        true,
+			ReserveSegments:  2,
+		}
+		dev := quietDev(devBlocks)
+		rec := recordWrites(dev)
+		fs, err := New(dev, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		names := []string{"a", "b", "c", "d"}
+		model := make(map[string][]byte)
+		var acks []fsSnapshot
+		for i := 0; i < len(ops); i++ {
+			b := ops[i]
+			name := names[(b>>3)%4]
+			switch b % 5 {
+			case 0: // create
+				if _, cerr := fs.Create(name, b%3); cerr == nil {
+					model[name] = nil
+				}
+			case 1: // write one block somewhere in the first 6
+				if _, ok := model[name]; !ok {
+					continue
+				}
+				ino, lerr := fs.Lookup(name)
+				if lerr != nil {
+					t.Fatalf("lookup %s: %v", name, lerr)
+				}
+				blk := int(b>>5) % 6
+				data := payload(b^0xA5, device.DataBytes)
+				werr := fs.Write(ino, uint64(blk)*device.DataBytes, data)
+				if errors.Is(werr, ErrFull) {
+					continue
+				}
+				if werr != nil {
+					t.Fatalf("write %s: %v", name, werr)
+				}
+				buf := model[name]
+				for len(buf) < (blk+1)*device.DataBytes {
+					buf = append(buf, 0)
+				}
+				copy(buf[blk*device.DataBytes:], data)
+				model[name] = buf
+			case 2: // sync: ack everything current
+				serr := fs.Sync()
+				if errors.Is(serr, ErrFull) {
+					continue
+				}
+				if serr != nil {
+					t.Fatalf("sync: %v", serr)
+				}
+				acks = append(acks, snapshotModel(model, rec.count()))
+			case 3: // delete
+				if derr := fs.Delete(name); derr == nil {
+					delete(model, name)
+				}
+			case 4: // rename to the next name over
+				to := names[(int(b>>3)+1)%4]
+				if rerr := fs.Rename(name, to); rerr == nil {
+					model[to] = model[name]
+					delete(model, name)
+				}
+			}
+		}
+		dev.SetWriteObserver(nil)
+
+		total := rec.count()
+		k := int(crash) % (total + 1)
+		lastAck := -1
+		for i, a := range acks {
+			if a.writes <= k {
+				lastAck = i
+			}
+		}
+		crashed := rec.deviceAt(t, devBlocks, k)
+		mounted, merr := Mount(crashed, p)
+		if lastAck < 0 {
+			return // nothing acked: an unmountable medium is allowed
+		}
+		if merr != nil {
+			t.Fatalf("crash at write %d/%d after ack %d: mount failed: %v",
+				k, total, lastAck, merr)
+		}
+		ok := matchesSnapshot(mounted, acks[lastAck])
+		if !ok && lastAck+1 < len(acks) {
+			ok = matchesSnapshot(mounted, acks[lastAck+1])
+		}
+		if !ok {
+			t.Fatalf("crash at write %d/%d: mounted state is neither ack %d nor ack %d",
+				k, total, lastAck, lastAck+1)
+		}
+	})
+}

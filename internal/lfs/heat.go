@@ -124,9 +124,15 @@ func (fs *FS) HeatFile(name string) (HeatResult, error) {
 	}
 
 	// Adopt the frozen inode. Heated-line blocks are tracked by the
-	// pin, not the live map (they are not cleanable).
+	// pin, not the live map (they are not cleanable). The relocation is
+	// journaled like any other imap change so a roll-forward mount
+	// finds the frozen inode, back-pointers included.
 	fs.cacheInode(frozen)
 	fs.imap[ino] = start + 1
+	fs.jImap[ino] = true
+	for i, pba := range newBlocks {
+		fs.jBlocks = append(fs.jBlocks, blockPtr{ino: ino, idx: int32(i), pba: pba})
+	}
 	fs.sm.pin(start, 1<<logN)
 	fs.stats.HeatedFiles++
 	fs.stats.HeatedLineBlock += uint64(uint64(1) << logN)

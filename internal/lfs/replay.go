@@ -1,0 +1,390 @@
+package lfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"sero/internal/device"
+)
+
+// Mount-time roll-forward. A mount loads the newest valid checkpoint
+// slot and replays the epoch's summary chain record by record:
+// sequence numbers must be contiguous, each checksum must chain from
+// the previous one, and the first torn, stale or malformed record ends
+// the chain *cleanly* — recovery surfaces the last consistent state,
+// never an error, because a torn tail is the expected shape of a
+// crash. Replay only rewrites the in-memory maps (imap, directory,
+// next-ino); the final inode walk then rebuilds liveness exactly as a
+// checkpoint-only mount would, so a replayed mount is state-identical
+// to a checkpoint mount of the same history.
+
+// replayTrace records what the roll-forward pass saw, for diagnostics
+// and serofsck.
+type replayTrace struct {
+	epoch     uint64
+	writtenAt time.Duration
+	jstart    uint64
+	records   int // delta records applied
+	jumps     int
+	blocks    int // total blocks the replayed tail occupies
+	appended  int // log blocks the replayed records cover (policy seed)
+	lastSeq   uint64
+	stop      string
+	// latest holds the newest data back-pointer per (ino, idx) seen in
+	// the applied records, for the fsck imap cross-check.
+	latest map[blockKey]uint64
+}
+
+type blockKey struct {
+	ino Ino
+	idx int32
+}
+
+// Mount reconstructs a file system from a device previously formatted
+// and synced by this package: it loads the newest valid checkpoint
+// slot, rolls forward through the summary chain, and rebuilds all
+// in-memory state (live maps, segment states, pins) from the resulting
+// metadata graph, the inodes it references, and the device's
+// heated-line registry. The journal chain is adopted as-is, so the
+// mounted FS keeps appending summary records where the previous
+// incarnation stopped.
+func Mount(dev *device.Device, p Params) (*FS, error) {
+	fs, err := New(dev, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.loadAndReplay(); err != nil {
+		return nil, err
+	}
+
+	// Rebuild liveness and segment state by walking the inodes in ino
+	// order. The inode reads advance the device clock, so the walk
+	// loads everything first and then stamps all liveness with one
+	// timestamp: mount-time segment ages — and with them the cleaner's
+	// future victim choices — must not depend on map iteration order.
+	inos := make([]Ino, 0, len(fs.imap))
+	for ino := range fs.imap {
+		inos = append(inos, ino)
+	}
+	sortInos(inos)
+	for _, ino := range inos {
+		if _, ierr := fs.loadInodeAt(ino, fs.imap[ino]); ierr != nil {
+			return nil, ierr
+		}
+	}
+	now := fs.now()
+	for _, ino := range inos {
+		ipba := fs.imap[ino]
+		in, _ := fs.cachedInode(ino)
+		if !in.Heated() {
+			fs.sm.markLive(ipba, now)
+			fs.owners[ipba] = blockRef{ino: ino, idx: -1}
+			for idx, pba := range in.Blocks {
+				if pba == 0 {
+					continue // hole sentinel, not a data block
+				}
+				fs.sm.markLive(pba, now)
+				fs.owners[pba] = blockRef{ino: ino, idx: idx}
+			}
+		}
+	}
+	// Pin segments containing heated lines, per the device registry.
+	for _, li := range dev.Lines() {
+		fs.sm.pin(li.Start, int(li.Blocks()))
+	}
+	// Segments that hold live or heated data are full; the rest are
+	// free. (Active appenders are not restored; new writes open fresh
+	// segments.) Segments carrying the replayed chain — or its tail
+	// promise slot — must not be handed out to fresh appends either,
+	// whatever their live count: overwriting a chain block would sever
+	// the next crash-mount's replay.
+	for _, s := range fs.sm.segs {
+		if s.state == SegPinned {
+			continue
+		}
+		if s.live > 0 || s.journal {
+			s.state = SegFull
+			s.next = fs.p.SegmentBlocks
+		}
+	}
+	return fs, nil
+}
+
+// loadAndReplay loads the newest valid checkpoint slot into the
+// in-memory maps and rolls the summary chain forward. Shared by Mount
+// (which then rebuilds liveness, strictly) and CheckJournal (which
+// then cross-checks, tolerantly).
+func (fs *FS) loadAndReplay() error {
+	ck := fs.loadBestCheckpoint()
+	if ck == nil {
+		return fmt.Errorf("%w: no valid checkpoint slot", ErrBadCheckpoint)
+	}
+	fs.next = ck.next
+	fs.ckptEpoch = ck.epoch
+	for ino, pba := range ck.imap {
+		fs.imap[ino] = pba
+	}
+	for name, ino := range ck.dir {
+		fs.dir[name] = ino
+		fs.names[ino] = name
+	}
+	fs.jtrace = fs.replayChain(ck)
+	fs.appended = uint64(fs.jtrace.appended + fs.jtrace.blocks)
+	return nil
+}
+
+// replayChain rolls the in-memory maps forward through the summary
+// chain anchored at ck, restoring the journal write position so the
+// mounted FS continues the chain. It never fails: any invalid record
+// is the end of the chain. Chain positions are deterministic — the
+// anchor is the checkpoint's promise slot, a delta record is followed
+// immediately by the next promise slot, and a jump names its target —
+// so no scanning is involved. Every segment the chain touches is
+// flagged (segment.journal) to shield it from the cleaner and from
+// reallocation.
+func (fs *FS) replayChain(ck *ckptImage) *replayTrace {
+	t := &replayTrace{
+		epoch:     ck.epoch,
+		writtenAt: time.Duration(ck.writtenAt),
+		jstart:    ck.jstart,
+		latest:    make(map[blockKey]uint64),
+	}
+	fs.jepoch = ck.epoch
+	fs.jseq = 1
+	fs.jchain = chainSeed(ck.epoch)
+	fs.jpromise = 0
+	if ck.jstart == 0 {
+		t.stop = "no journal anchor"
+		return t
+	}
+	seg := fs.sm.segOf(ck.jstart)
+	if seg == nil {
+		t.stop = "journal anchor outside the log"
+		return t
+	}
+	seg.journal = true
+	visited := map[uint64]bool{}
+	pos := ck.jstart
+	for !visited[pos] {
+		visited[pos] = true
+		off := int(pos - seg.start)
+		first, err := fs.dev.MRS(pos)
+		if err != nil {
+			t.stop = "end of chain (unreadable block)"
+			break
+		}
+		h, ok := parseRecHeader(first)
+		if !ok {
+			t.stop = "end of chain"
+			break
+		}
+		if h.seq != fs.jseq {
+			t.stop = fmt.Sprintf("sequence break (%d, want %d)", h.seq, fs.jseq)
+			break
+		}
+		if off+h.nblocks > fs.p.SegmentBlocks {
+			t.stop = "record overflows its segment"
+			break
+		}
+		payload := make([]byte, 0, h.payloadLen)
+		payload = append(payload, first[sumHdrBytes:]...)
+		torn := false
+		for b := 1; b < h.nblocks; b++ {
+			data, rerr := fs.dev.MRS(pos + uint64(b))
+			if rerr != nil {
+				torn = true
+				break
+			}
+			payload = append(payload, data...)
+		}
+		if torn {
+			t.stop = "torn record (unreadable tail)"
+			break
+		}
+		payload = payload[:h.payloadLen]
+		want := chainNext(fs.jchain, h.seq, h.kind, payload)
+		if want != h.chain {
+			t.stop = "checksum break (torn or stale record)"
+			break
+		}
+		if h.kind == recJump {
+			target := binary.BigEndian.Uint64(payload)
+			ns := fs.sm.segOf(target)
+			if ns == nil || visited[target] {
+				t.stop = "invalid jump target"
+				break
+			}
+			ns.journal = true
+			t.jumps++
+			t.blocks += h.nblocks
+			fs.jseq++
+			fs.jchain = want
+			seg, pos = ns, target
+			continue
+		}
+		d, derr := decodeDelta(payload)
+		if derr != nil {
+			t.stop = "malformed delta"
+			break
+		}
+		fs.applyDelta(d, t)
+		t.records++
+		t.blocks += h.nblocks
+		t.lastSeq = h.seq
+		fs.jseq++
+		fs.jchain = want
+		// The next chain element lives in the promise slot reserved
+		// right behind this record.
+		pos += uint64(h.nblocks)
+		if ns := fs.sm.segOf(pos); ns != nil {
+			ns.journal = true
+			seg = ns
+		} else {
+			t.stop = "chain ran off the log"
+			break
+		}
+	}
+	if t.stop == "" {
+		t.stop = "chain loop"
+	}
+	// pos is where the next chain element must be written: the mounted
+	// FS continues the chain exactly there. A pathological chain (loop,
+	// or one running off the log) disables the journal instead; every
+	// following Sync then falls back to full checkpoints.
+	if t.stop == "chain loop" || fs.sm.segOf(pos) == nil {
+		fs.jpromise = 0
+	} else {
+		fs.jpromise = pos
+	}
+	return t
+}
+
+// applyDelta folds one summary record into the in-memory maps.
+func (fs *FS) applyDelta(d summaryDelta, t *replayTrace) {
+	if d.next > fs.next {
+		fs.next = d.next
+	}
+	for _, op := range d.dirOps {
+		switch op.op {
+		case dirOpCreate:
+			fs.dir[op.name] = op.ino
+			fs.names[op.ino] = op.name
+		case dirOpRemove:
+			delete(fs.dir, op.name)
+			delete(fs.names, op.ino)
+		case dirOpRename:
+			delete(fs.dir, op.name)
+			fs.dir[op.newName] = op.ino
+			fs.names[op.ino] = op.newName
+		}
+	}
+	for _, e := range d.imap {
+		if e.remove {
+			delete(fs.imap, e.ino)
+		} else {
+			fs.imap[e.ino] = e.pba
+		}
+	}
+	for _, bp := range d.blocks {
+		t.latest[blockKey{ino: bp.ino, idx: bp.idx}] = bp.pba
+	}
+	// Data back-pointers plus inode rewrites approximate the appends
+	// this record covered — the CheckpointEvery policy seed, so the
+	// replay-tail bound holds across remounts instead of resetting.
+	t.appended += len(d.blocks) + len(d.imap)
+}
+
+// JournalReport summarises the health of the on-medium summary chain,
+// as verified by CheckJournal.
+type JournalReport struct {
+	// Epoch is the checkpoint epoch the chain hangs off.
+	Epoch uint64
+	// CheckpointAge is the virtual time elapsed since the checkpoint
+	// was written.
+	CheckpointAge time.Duration
+	// Records and Jumps count the valid records of the replayable
+	// tail; TailBlocks is the log space the tail occupies.
+	Records, Jumps, TailBlocks int
+	// LastSeq is the sequence number of the last valid delta record.
+	LastSeq uint64
+	// Stop describes why the chain walk ended ("end of chain" is the
+	// healthy case: the next record was simply never written).
+	Stop string
+	// Files and DirEntries describe the replayed state.
+	Files, DirEntries int
+	// ImapMismatches counts inode blocks the replayed imap points at
+	// that do not parse as the right inode; BackPtrMismatches counts
+	// journaled data back-pointers that disagree with the final
+	// inodes. Both are 0 on a healthy image.
+	ImapMismatches, BackPtrMismatches int
+}
+
+// Healthy reports whether the chain verified clean.
+func (r JournalReport) Healthy() bool {
+	return r.ImapMismatches == 0 && r.BackPtrMismatches == 0
+}
+
+// Summary renders the report in the serofsck style.
+func (r JournalReport) Summary() string {
+	s := fmt.Sprintf("summary chain: epoch %d, checkpoint age %v\n", r.Epoch, r.CheckpointAge)
+	s += fmt.Sprintf("  replayable tail: %d records (+%d jumps) in %d blocks, last seq %d (%s)\n",
+		r.Records, r.Jumps, r.TailBlocks, r.LastSeq, r.Stop)
+	s += fmt.Sprintf("  replayed state: %d files, %d directory entries\n", r.Files, r.DirEntries)
+	s += fmt.Sprintf("  back-pointer agreement: %d imap mismatches, %d block mismatches\n",
+		r.ImapMismatches, r.BackPtrMismatches)
+	return s
+}
+
+// CheckJournal verifies the summary chain the way a recovery fsck
+// would: load the newest checkpoint, roll the chain forward (sequence
+// continuity and chained checksums), then cross-check the replayed
+// imap against the medium and the journaled back-pointers against the
+// final inodes. Unlike Mount it is tolerant: a broken imap entry is
+// counted and reported, not a fatal error — serofsck's job is to
+// describe the damage.
+func CheckJournal(dev *device.Device, p Params) (JournalReport, error) {
+	fs, err := New(dev, p)
+	if err != nil {
+		return JournalReport{}, err
+	}
+	if err := fs.loadAndReplay(); err != nil {
+		return JournalReport{}, err
+	}
+	t := fs.jtrace
+	r := JournalReport{
+		Epoch:         t.epoch,
+		CheckpointAge: fs.now() - t.writtenAt,
+		Records:       t.records,
+		Jumps:         t.jumps,
+		TailBlocks:    t.blocks,
+		LastSeq:       t.lastSeq,
+		Stop:          t.stop,
+		Files:         len(fs.imap),
+		DirEntries:    len(fs.dir),
+	}
+	inodes := make(map[Ino]*Inode, len(fs.imap))
+	for ino, pba := range fs.imap {
+		data, rerr := dev.MRS(pba)
+		if rerr != nil {
+			r.ImapMismatches++
+			continue
+		}
+		in, uerr := UnmarshalInode(data)
+		if uerr != nil || in.Ino != ino {
+			r.ImapMismatches++
+			continue
+		}
+		inodes[ino] = in
+	}
+	for k, pba := range t.latest {
+		in, ok := inodes[k.ino]
+		if !ok {
+			continue // deleted since (or already counted above)
+		}
+		if int(k.idx) >= len(in.Blocks) || in.Blocks[k.idx] != pba {
+			r.BackPtrMismatches++
+		}
+	}
+	return r, nil
+}

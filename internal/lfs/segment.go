@@ -26,11 +26,12 @@ const (
 	// cleaned or reused (§4.1: copying a heated line "just decreases
 	// the free space").
 	SegPinned
-	// SegFreeing has been emptied by the cleaner but the checkpoint on
+	// SegFreeing has been emptied by the cleaner but the metadata on
 	// the medium may still reference its old contents; it becomes
-	// SegFree — and only then reusable — once the next checkpoint
-	// lands. Reusing it earlier would let fresh appends overwrite
-	// blocks a crash-recovery mount still needs.
+	// SegFree — and only then reusable — once a covering point (a
+	// checkpoint, or a summary record journaling the relocations) is
+	// on the medium. Reusing it earlier would let fresh appends
+	// overwrite blocks a crash-recovery mount still needs.
 	SegFreeing
 )
 
@@ -79,6 +80,12 @@ type segment struct {
 	// affinity is the class of the appender that filled it (for
 	// diagnostics and clustering policy).
 	affinity uint8
+	// journal marks a segment holding blocks of the current epoch's
+	// roll-forward summary chain. The cleaner refuses such segments —
+	// recycling one would sever the replay a crash-mount depends on —
+	// until the next checkpoint makes the chain obsolete and clears
+	// every flag.
+	journal bool
 }
 
 // segmentManager owns all segments.
@@ -131,6 +138,7 @@ func (sm *segmentManager) allocSegment(affinity uint8) *segment {
 			s.dead = 0
 			s.pending = nil
 			s.affinity = affinity
+			s.journal = false
 			return s
 		}
 	}
@@ -237,9 +245,13 @@ type SegmentInfo struct {
 	HeatedBlocks int
 	// DeadBlocks counts invalidated blocks; in a pinned segment they
 	// are lost forever (the §4.1 stranding cost).
-	DeadBlocks     int
-	Blocks         int
-	Affinity       uint8
+	DeadBlocks int
+	Blocks     int
+	Affinity   uint8
+	// Journal reports that the segment holds part of the current
+	// epoch's summary chain and is therefore shielded from the
+	// cleaner until the next checkpoint.
+	Journal        bool
 	HeatedFraction float64
 }
 
@@ -256,6 +268,7 @@ func (sm *segmentManager) snapshot() []SegmentInfo {
 			DeadBlocks:     s.dead,
 			Blocks:         sm.segBlocks,
 			Affinity:       s.affinity,
+			Journal:        s.journal,
 			HeatedFraction: float64(s.heatedBlocks) / float64(sm.segBlocks),
 		})
 	}

@@ -57,9 +57,25 @@
 // appends buffer in the active segment in memory and go to the device
 // as one batched write per WritebackBlocks (and on segment seal and
 // Sync); reads take the FS metadata lock shared and proceed
-// concurrently with the memory-buffered append path. Data is durable
-// — acked — at Sync, which group-commits every buffer before writing
-// the checkpoint.
+// concurrently with the memory-buffered append path.
+//
+// # Durability: the summary-tail Sync and the roll-forward journal
+//
+// Data is durable — acked — at Sync, and the ack is two-tier. A Sync
+// group-commits every buffer and then appends one checksummed summary
+// record (imap deltas, ordered directory ops, per-block back-pointers)
+// to a journal chain living in dedicated log segments: one batched
+// write command whose cost scales with the delta, not with the
+// metadata size. The checkpoint region — two alternating, checksummed
+// slots, so a torn checkpoint write can never lose the previous one —
+// is rewritten only when FSOptions.CheckpointEvery appended blocks
+// have passed, on an explicit FS.Checkpoint, or when a delta cannot be
+// journaled. Mounting loads the newest valid checkpoint slot and rolls
+// the summary chain forward, stopping cleanly at the first torn or
+// invalid record: every acked Sync survives any later crash point, and
+// no unacked write resurrects. CheckFSJournal verifies the chain
+// (sequence continuity, checksums, back-pointer agreement with the
+// imap) the way cmd/serofsck reports it.
 //
 // The LFS cleaner fans out over FSOptions.Concurrency like Audit
 // does: a pass picks its cost-benefit victims, plans every live
@@ -288,6 +304,13 @@ type FSOptions struct {
 	// paying the per-command servo settle for every block; 0 defaults
 	// to whole-segment group commit.
 	WritebackBlocks int
+	// CheckpointEvery is the background checkpoint policy in appended
+	// blocks: Sync acks with a summary record (the roll-forward
+	// journal) until this many blocks have been appended since the
+	// last checkpoint, then writes a full one. 1 checkpoints every
+	// non-empty Sync (the pre-journal behaviour); 0 defaults to four
+	// segments' worth; negative values are rejected.
+	CheckpointEvery int
 	// HeatAware toggles the §4.1 clustering and cleaning policies
 	// (default true).
 	HeatAware bool
@@ -312,6 +335,7 @@ func fsParams(d *Device, o FSOptions) lfs.Params {
 		p.CheckpointBlocks = o.CheckpointBlocks
 	}
 	p.WritebackBlocks = o.WritebackBlocks
+	p.CheckpointEvery = o.CheckpointEvery
 	p.HeatAware = o.HeatAware
 	p.Concurrency = o.Concurrency
 	if p.Concurrency == 0 {
@@ -326,7 +350,21 @@ func NewFS(d *Device, o FSOptions) (*FS, error) {
 }
 
 // MountFS reopens a file system previously created by NewFS on the
-// same device.
+// same device: it loads the newest valid checkpoint slot and rolls
+// forward through the summary chain, recovering every acked Sync and
+// stopping cleanly at the first torn record.
 func MountFS(d *Device, o FSOptions) (*FS, error) {
 	return lfs.Mount(d.st.Device(), fsParams(d, o))
+}
+
+// FSJournalReport re-exports the summary-chain verification outcome.
+type FSJournalReport = lfs.JournalReport
+
+// CheckFSJournal verifies the file system's roll-forward journal the
+// way cmd/serofsck reports it: sequence continuity and chained
+// checksums of the summary tail, then back-pointer agreement between
+// the journaled records and the replayed imap, plus checkpoint age
+// and replayable-tail length.
+func CheckFSJournal(d *Device, o FSOptions) (FSJournalReport, error) {
+	return lfs.CheckJournal(d.st.Device(), fsParams(d, o))
 }

@@ -240,3 +240,79 @@ func TestFSOptionsWritebackAndConcurrency(t *testing.T) {
 		}
 	}
 }
+
+func TestFSJournalAPI(t *testing.T) {
+	// The two-tier durability story through the public API: syncs ride
+	// the summary tail, CheckFSJournal verifies the chain, Checkpoint
+	// resets it, and a mount replays everything acked.
+	d := Open(Options{Blocks: 4096, Quiet: true})
+	opts := FSOptions{SegmentBlocks: 32, CheckpointEvery: 1 << 20, HeatAware: true}
+	fs, err := NewFS(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Params().CheckpointEvery != 1<<20 {
+		t.Fatalf("CheckpointEvery %d not plumbed", fs.Params().CheckpointEvery)
+	}
+	ino, err := fs.Create("ledger", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*BlockSize)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := fs.WriteFile(ino, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil { // anchoring checkpoint
+		t.Fatal(err)
+	}
+	if err := fs.Rename("ledger", "ledger.v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil { // summary record
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.JournalRecords == 0 {
+		t.Fatalf("no summary records written: %+v", st)
+	}
+	rep, err := CheckFSJournal(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() || rep.Records == 0 {
+		t.Fatalf("journal report %+v", rep)
+	}
+	if err := fs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = CheckFSJournal(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 0 || rep.Epoch != 2 {
+		t.Fatalf("checkpoint did not reset the tail: %+v", rep)
+	}
+	fs2, err := MountFS(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Lookup("ledger"); err == nil {
+		t.Fatal("old name survived journaled rename")
+	}
+	ino2, err := fs2.Lookup("ledger.v2")
+	if err != nil || ino2 != ino {
+		t.Fatalf("renamed file lost: %v", err)
+	}
+	got, err := fs2.ReadFile(ino2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("data lost across journaled mount")
+		}
+	}
+}
