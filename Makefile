@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz ci
+.PHONY: all build vet test race bench fuzz docs ci
 
 all: build
 
@@ -17,16 +17,17 @@ test:
 	$(GO) test ./...
 
 # The concurrency suite (device stripes, parallel audit/scan, the core
-# stress test) must stay clean under the race detector.
+# stress test, the background cleaner) must stay clean under the race
+# detector.
 race:
 	$(GO) test -race ./...
 
 # Audit fan-out family, the write-path batching/cleaner fan-out
-# family, the sync/replay durability family, plus the paper's
-# figure/experiment benchmarks.
+# family, the sync/replay durability family, the append-during-clean
+# lock-scoping family, plus the paper's figure/experiment benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkAudit -benchtime 1x .
-	$(GO) test -run '^$$' -bench 'BenchmarkFSAppend|BenchmarkClean|BenchmarkSync|BenchmarkMountReplay' -benchtime 1x ./internal/lfs
+	$(GO) test -run '^$$' -bench 'BenchmarkFSAppend|BenchmarkClean|BenchmarkSync|BenchmarkMountReplay|BenchmarkAppendDuringClean' -benchtime 1x ./internal/lfs
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
 
 # Short fuzz passes over the image loader (the §5.2 trust boundary),
@@ -38,4 +39,15 @@ fuzz:
 	$(GO) test -run FuzzFSOps -fuzz FuzzFSOps -fuzztime 20s ./internal/lfs
 	$(GO) test -run FuzzReplay -fuzz FuzzReplay -fuzztime 20s ./internal/lfs
 
-ci: build vet test race
+# Documentation gate: formatting, vet, and a mechanical check that
+# every exported identifier in the public API (package sero) and the
+# file-system core (internal/lfs) carries a doc comment, so `go doc`
+# reads as a complete reference.
+docs:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./tools/doccheck . ./internal/lfs
+
+# docs already runs vet, so ci doesn't list it twice.
+ci: build test race docs

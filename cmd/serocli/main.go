@@ -5,7 +5,28 @@
 //
 // Usage:
 //
-//	serocli [-blocks N] [-j workers] [-writeback N] [-ckpt-every N]
+//	serocli [-blocks N] [-j workers] [-writeback N] [-ckpt-every N] [-clean-watermark N]
+//
+// Flags (all validated, nonsensical values are rejected rather than
+// silently clamped):
+//
+//	-blocks N          device size in 512-byte blocks (default 2048)
+//	-j N               audit and cleaner worker fan-out; must be
+//	                   positive, 1 = serial (default 1)
+//	-writeback N       group-commit granularity in blocks; must be 0
+//	                   (whole segments) or positive, 1 = block-at-a-time
+//	                   (default 0)
+//	-ckpt-every N      checkpoint interval in appended blocks; must be
+//	                   positive, 1 = checkpoint every sync (default 128)
+//	-clean-watermark N free-segment threshold that arms the background
+//	                   cleaner goroutine; must be 0 (foreground-only
+//	                   cleaning, the default) or positive
+//
+// Example invocations:
+//
+//	serocli                                  # defaults, serial
+//	serocli -blocks 4096 -j 4 -writeback 16  # batched writes, fanned-out audit
+//	serocli -j 4 -clean-watermark 8          # cleaning off the foreground lock
 package main
 
 import (
@@ -23,6 +44,7 @@ func main() {
 	workers := flag.Int("j", 1, "audit and cleaner concurrency (worker count; 1 = serial)")
 	writeback := flag.Int("writeback", 0, "group-commit granularity in blocks (1 = block-at-a-time, 0 = whole segments)")
 	ckptEvery := flag.Int("ckpt-every", 128, "checkpoint interval in appended blocks (1 = checkpoint every sync)")
+	cleanWM := flag.Int("clean-watermark", 0, "free-segment threshold arming the background cleaner (0 = foreground-only cleaning)")
 	flag.Parse()
 	// Nonsensical values are rejected with a clear error rather than
 	// silently clamped by the library.
@@ -38,13 +60,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serocli: -ckpt-every must be positive (got %d)\n", *ckptEvery)
 		os.Exit(2)
 	}
-	if err := run(*blocks, *workers, *writeback, *ckptEvery); err != nil {
+	if *cleanWM < 0 {
+		fmt.Fprintf(os.Stderr, "serocli: -clean-watermark must be 0 (off) or positive (got %d)\n", *cleanWM)
+		os.Exit(2)
+	}
+	if err := run(*blocks, *workers, *writeback, *ckptEvery, *cleanWM); err != nil {
 		fmt.Fprintln(os.Stderr, "serocli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blocks, workers, writeback, ckptEvery int) error {
+func run(blocks, workers, writeback, ckptEvery, cleanWM int) error {
 	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
 	fs, err := sero.NewFS(dev, sero.FSOptions{
 		SegmentBlocks:   32,
@@ -52,10 +78,12 @@ func run(blocks, workers, writeback, ckptEvery int) error {
 		CheckpointEvery: ckptEvery,
 		HeatAware:       true,
 		Concurrency:     workers,
+		CleanWatermark:  cleanWM,
 	})
 	if err != nil {
 		return err
 	}
+	defer fs.Close()
 
 	fmt.Println("== 1. normal WMRM operation ==")
 	ledger, err := fs.Create("ledger.db", 0)
@@ -109,5 +137,7 @@ func run(blocks, workers, writeback, ckptEvery int) error {
 	fst := fs.Stats()
 	fmt.Printf("durability: %d syncs acked by %d summary records + %d checkpoints (ckpt-every=%d blocks)\n",
 		fst.Syncs, fst.JournalRecords, fst.Checkpoints, ckptEvery)
+	fmt.Printf("cleaner: %d passes (%d background), %d blocks copied, %d stale moves dropped (clean-watermark=%d)\n",
+		fst.CleanerPasses, fst.CleanerBgRuns, fst.CleanerCopied, fst.CleanerStaleMoves, cleanWM)
 	return nil
 }

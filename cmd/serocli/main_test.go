@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestRunTour(t *testing.T) {
-	if err := run(2048, 2, 0, 128); err != nil {
+	if err := run(2048, 2, 0, 128, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -11,14 +11,21 @@ func TestRunTour(t *testing.T) {
 func TestRunTourBlockAtATime(t *testing.T) {
 	// The pre-batching write path (writeback=1) must behave
 	// identically apart from virtual time.
-	if err := run(2048, 1, 1, 128); err != nil {
+	if err := run(2048, 1, 1, 128, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTourCheckpointEverySync(t *testing.T) {
 	// ckpt-every=1 reproduces the pre-journal durability behaviour.
-	if err := run(2048, 1, 0, 1); err != nil {
+	if err := run(2048, 1, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTourBackgroundCleaner(t *testing.T) {
+	// The tour must also work with the watermark cleaner armed.
+	if err := run(2048, 2, 0, 128, 6); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,6 +12,21 @@
 // Usage:
 //
 //	serofsck [-blocks N] [-attack none|wipe|erase] [-j workers]
+//
+// Flags (all validated, nonsensical values are rejected rather than
+// silently clamped):
+//
+//	-blocks N  device size in 512-byte blocks (default 1024)
+//	-attack M  attacker action before the scan: none, wipe (directory
+//	           wipe) or erase (bulk erase); anything else is rejected
+//	           (default wipe)
+//	-j N       scan/audit worker fan-out; must be positive, 1 = serial
+//	           (default 1)
+//
+// Example invocations:
+//
+//	serofsck                      # wipe attack, serial scan
+//	serofsck -attack erase -j 4   # bulk erase, fanned-out recovery scan
 package main
 
 import (

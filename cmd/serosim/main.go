@@ -3,7 +3,21 @@
 //
 // Usage:
 //
-//	serosim [-seed N] [-j workers] [-writeback N] [-ckpt-every N] [experiment ...]
+//	serosim [-seed N] [-j workers] [-writeback N] [-ckpt-every N] [-watermark N] [experiment ...]
+//
+// Flags (all validated, nonsensical values are rejected rather than
+// silently clamped):
+//
+//	-seed N       deterministic seed for stochastic experiments (default 42)
+//	-j N          worker fan-out for e14-writepath and e16-background-clean;
+//	              must be positive, 1 = serial (default 4)
+//	-writeback N  group-commit granularity for e14-writepath; must be 0
+//	              (whole segments) or positive, 1 = block-at-a-time (default 0)
+//	-ckpt-every N checkpoint interval in appended blocks, swept by
+//	              e15-recovery; must be positive, 1 = checkpoint every
+//	              sync (default 256)
+//	-watermark N  free-segment threshold for e16-background-clean's
+//	              policy demo; must be positive (default 8)
 //
 // With no arguments every experiment runs. Experiments:
 //
@@ -27,6 +41,16 @@
 //	e13-scrub   background-scrub tradeoff: detection latency vs overhead
 //	e14-writepath batched write pipeline: group commit and cleaner fan-out
 //	e15-recovery  roll-forward recovery: sync latency vs replay time
+//	e16-background-clean  foreground append latency vs an in-flight
+//	              cleaning pass: exclusive lock vs phased/overlapped,
+//	              plus the CleanWatermark background-goroutine policy
+//
+// Example invocations:
+//
+//	serosim e14-writepath                  # defaults: j=4, whole-segment commits
+//	serosim -j 8 -writeback 16 e14-writepath
+//	serosim -ckpt-every 64 e15-recovery    # denser checkpoints, shorter replay
+//	serosim -j 4 -watermark 8 e16-background-clean
 package main
 
 import (
@@ -43,6 +67,7 @@ func main() {
 	workers := flag.Int("j", 4, "cleaner fan-out width for e14-writepath (1 = serial)")
 	writeback := flag.Int("writeback", 0, "group-commit granularity for e14-writepath (1 = block-at-a-time, 0 = whole segments)")
 	ckptEvery := flag.Int("ckpt-every", 256, "extra checkpoint interval (appended blocks) swept by e15-recovery")
+	watermark := flag.Int("watermark", 8, "background-cleaner free-segment threshold for e16-background-clean")
 	flag.Parse()
 	// Nonsensical values are rejected, not silently clamped: a typo'd
 	// experiment configuration should fail loudly, not quietly measure
@@ -59,13 +84,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serosim: -ckpt-every must be positive (got %d)\n", *ckptEvery)
 		os.Exit(2)
 	}
-	fsFlags = fsFlagValues{workers: *workers, writeback: *writeback, ckptEvery: *ckptEvery}
+	if *watermark <= 0 {
+		fmt.Fprintf(os.Stderr, "serosim: -watermark must be positive (got %d)\n", *watermark)
+		os.Exit(2)
+	}
+	fsFlags = fsFlagValues{workers: *workers, writeback: *writeback, ckptEvery: *ckptEvery, watermark: *watermark}
 
 	all := []string{
 		"fig2", "fig3", "fig7", "fig8", "fig9",
 		"e1-latency", "e2-gc", "e3-bimodal", "e4-attacks",
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
-		"e14-writepath", "e15-recovery",
+		"e14-writepath", "e15-recovery", "e16-background-clean",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -182,18 +211,26 @@ func run(name string, seed uint64) error {
 			return err
 		}
 		fmt.Print(res.Table())
+	case "e16-background-clean":
+		res, err := experiments.RunE16(fsFlags.workers, fsFlags.watermark)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
 }
 
-// fsFlagValues carries the -j/-writeback/-ckpt-every settings into run
-// without threading them through every experiment's arguments.
+// fsFlagValues carries the -j/-writeback/-ckpt-every/-watermark
+// settings into run without threading them through every experiment's
+// arguments.
 type fsFlagValues struct {
 	workers   int
 	writeback int
 	ckptEvery int
+	watermark int
 }
 
-var fsFlags = fsFlagValues{workers: 4, ckptEvery: 256}
+var fsFlags = fsFlagValues{workers: 4, ckptEvery: 256, watermark: 8}

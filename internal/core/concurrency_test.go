@@ -106,7 +106,7 @@ func TestStressParallelTraffic(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
 				start, logN, err := st.WriteLine([][]byte{
-					stressBlock('l', g*100 + i), stressBlock('m', g*100 + i),
+					stressBlock('l', g*100+i), stressBlock('m', g*100+i),
 				})
 				if err != nil {
 					fail(err)

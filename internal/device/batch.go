@@ -69,6 +69,13 @@ type MoveResult struct {
 // written under theirs, and the two lock sets are never held together,
 // so concurrent groups cannot deadlock. workers <= 0 means the
 // device's configured Concurrency.
+//
+// MoveGroups is safe to run concurrently with foreground device I/O
+// to unrelated blocks — the lfs cleaner relies on this, running its
+// copy phase with the file-system lock released: its sources sit in
+// retired segments nothing writes to, its destinations in reserved
+// slots nothing else addresses, and any foreground traffic touching
+// other blocks interleaves under the ordinary stripe-lock rules.
 func (d *Device) MoveGroups(groups [][]BlockMove, workers int) []MoveResult {
 	out := make([]MoveResult, len(groups))
 	if len(groups) == 0 {

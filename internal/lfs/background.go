@@ -1,0 +1,114 @@
+package lfs
+
+// The background cleaner. With Params.CleanWatermark > 0, cleaning is
+// a background activity: the first time the append path sees the free
+// pool at or below the watermark it arms a cleaner goroutine, and from
+// then on every such dip kicks it. The goroutine runs phased passes
+// (plan under fs.mu, copy off it, commit under it — see cleaner.go)
+// until the reclaimable pool is back above the watermark, so the
+// foreground thread that used to pay for a whole pass inline now pays
+// at most the brief plan/commit windows.
+//
+// The background cleaner never checkpoints: segments it empties sit
+// gated in SegFreeing until the next covering point a *foreground*
+// operation writes (a Sync's summary record, a policy checkpoint, an
+// explicit Clean). A checkpoint taken at an arbitrary background
+// moment would persist namespace changes the application has not
+// acked, weakening the crash contract; riding the existing covering
+// points keeps "every mounted state is an acked state" intact. The
+// watermark is therefore a target on *reclaimable* segments — the
+// cleaner's half of the bargain — while conversion to allocatable
+// rides the sync path, exactly as it does for inline cleaning.
+
+// kickCleanerLocked arms (on first use) and wakes the background
+// cleaner goroutine. Caller holds fs.mu exclusively. A no-op when the
+// watermark policy is off or the FS is closed; the wake itself never
+// blocks (the kick channel holds one pending wake, which is all the
+// level-triggered loop needs).
+func (fs *FS) kickCleanerLocked() {
+	if fs.p.CleanWatermark <= 0 || fs.closed {
+		return
+	}
+	if fs.bgKick == nil {
+		fs.bgKick = make(chan struct{}, 1)
+		fs.bgStop = make(chan struct{})
+		fs.bgDone = make(chan struct{})
+		go fs.cleanerLoop(fs.bgKick, fs.bgStop, fs.bgDone)
+	}
+	select {
+	case fs.bgKick <- struct{}{}:
+	default:
+	}
+}
+
+// cleanerLoop is the background cleaner goroutine: wait for a kick,
+// then run phased cleaning passes until the reclaimable pool is back
+// above the watermark or no pass makes progress (nothing cleanable
+// right now, or a foreground pass owns the cleaner), then park again.
+// The channels are passed in rather than read from fs so Close can
+// tear the fields down without racing the loop.
+func (fs *FS) cleanerLoop(kick, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-kick:
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs.mu.Lock()
+			wm := fs.p.CleanWatermark
+			before := fs.sm.reclaimable()
+			fs.mu.Unlock()
+			if before >= wm {
+				break
+			}
+			cs := fs.cleanPhased(wm)
+			fs.mu.Lock()
+			if cs.SegmentsCleaned > 0 || cs.BlocksCopied > 0 {
+				fs.stats.CleanerBgRuns++
+			}
+			progressed := fs.sm.reclaimable() > before
+			fs.mu.Unlock()
+			if !progressed {
+				// No net gain: nothing cleanable at current utilisation,
+				// a foreground pass holds the cleaner, or the pass's own
+				// appends ate what it freed. Park rather than spin — the
+				// next allocation dip re-kicks us. (Judging progress by
+				// gross segments freed would livelock here: near
+				// capacity a pass can keep freeing victims while netting
+				// zero.)
+				break
+			}
+		}
+	}
+}
+
+// Close stops the background cleaner, waiting for any in-flight pass
+// to commit. It does not sync: call Sync (or Checkpoint) first if
+// buffered data must be durable. The FS remains usable after Close —
+// foreground operations and explicit Clean keep working; only the
+// watermark policy is retired. Close is idempotent and safe to call
+// concurrently with foreground operations.
+func (fs *FS) Close() error {
+	fs.mu.Lock()
+	first := !fs.closed
+	fs.closed = true
+	stop, done := fs.bgStop, fs.bgDone
+	fs.mu.Unlock()
+	if stop != nil {
+		if first {
+			close(stop)
+		}
+		// Every Close waits: a second concurrent Close must not return
+		// while the goroutine the first one is stopping still issues
+		// device writes.
+		<-done
+	}
+	return nil
+}

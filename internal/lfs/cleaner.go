@@ -12,20 +12,50 @@ import (
 // "the garbage collector skips over heated segments, avoiding reading
 // and writing them repeatedly, thus saving on disk bandwidth".
 //
-// A cleaning pass is a three-phase pipeline:
+// A cleaning pass is a three-phase pipeline, and each phase has its
+// own lock scope:
 //
-//  1. plan (serial): pick the K best victims by cost-benefit score and
-//     reserve a destination slot in the log for every live data block,
-//     in log order — so the post-clean layout is a function of the
-//     workload alone, never of the worker count;
-//  2. copy (concurrent): relocate each victim's blocks on the device's
-//     fanned-out move engine, one worker plane per victim group, with
-//     contiguous destinations committed as single batched writes; the
-//     device clock advances by the *slowest worker's* elapsed virtual
-//     time, the same contract as a fanned-out Audit;
-//  3. commit (serial): retarget the owning inodes, rewrite each
-//     affected inode once (not once per copied block), and free the
-//     emptied victims.
+//  1. plan (fs.mu exclusive, brief): pick the K best victims by
+//     cost-benefit score, clean-pin them, flush the active buffers,
+//     and reserve a destination slot in the log for every live data
+//     block, in log order — so the post-clean layout is a function of
+//     the workload alone, never of the worker count;
+//  2. copy (fs.mu RELEASED): relocate each victim's blocks on the
+//     device's fanned-out move engine, one worker plane per victim
+//     group, with contiguous destinations committed as single batched
+//     writes; the device clock advances by the *slowest worker's*
+//     elapsed virtual time, the same contract as a fanned-out Audit.
+//     Foreground appends, reads and syncs proceed concurrently; a
+//     foreground write that invalidates a block being moved only
+//     flips liveness bookkeeping, which the commit phase detects;
+//  3. commit (fs.mu exclusive, brief): re-validate every completed
+//     move against the current owner map — moves whose source block
+//     was overwritten, deleted or heat-relocated mid-copy are dropped
+//     (their destination slot becomes dead space), the rest retarget
+//     the owning inodes; each affected inode is rewritten once (not
+//     once per copied block), emptied victims enter SegFreeing, and
+//     the clean-pins come off.
+//
+// The monolithic variant (cleanLocked) runs all three phases while
+// holding fs.mu — it is the inline fallback on the append path, where
+// the lock is already held, and the exclusive-lock baseline the
+// benchmarks compare against. Both variants share planVictimsLocked
+// and commitVictimsLocked; each is deterministic and worker-count-
+// independent, but the two need not produce byte-identical layouts
+// for the same inputs — the phased loop re-plans every
+// cleanBatchSegments victims (interleaving its inode rewrites and
+// re-scoring the remaining candidates between rounds), while the
+// monolithic loop takes the whole deficit per round.
+//
+// Safety of the unlocked copy window rests on three invariants:
+//   - source blocks live in SegFull victims, which no foreground path
+//     writes to (liveness only ever transitions live→dead there);
+//   - destination slots are reserved by bumping the active segment's
+//     frontier, so concurrent appends land strictly behind them and
+//     group-commit flushes never cover them;
+//   - only one pass runs at a time (fs.cleaning, held true across the
+//     unlocked window), so no other plan can pick the same victims or
+//     reuse the same reservations.
 
 // CleanStats summarises one cleaning pass.
 type CleanStats struct {
@@ -37,6 +67,11 @@ type CleanStats struct {
 	// PinnedSkipped counts pinned segments that were candidates by
 	// utilisation but were skipped.
 	PinnedSkipped int
+	// MovesInvalidated counts planned moves dropped at commit because
+	// a concurrent foreground write invalidated the source block while
+	// the copy phase ran off the lock. Always zero for the monolithic
+	// (exclusive-lock) variant.
+	MovesInvalidated int
 	// Workers is the fan-out width the copy phase ran at.
 	Workers int
 	// Checkpointed reports that the pass ended with a checkpoint on
@@ -45,30 +80,135 @@ type CleanStats struct {
 	Checkpointed bool
 }
 
-// Clean runs the cleaner until at least targetFree segments are free
-// or no further progress is possible, then checkpoints: the
-// relocations become durable and the emptied segments (SegFreeing)
+// cleanBatchSegments caps the victims one phased round takes between
+// lock windows. A constant (worker-independent) batch keeps the
+// incremental pass layout-deterministic for any Concurrency while
+// bounding how much cleaning any foreground operation can end up
+// waiting behind.
+const cleanBatchSegments = 4
+
+// cleanPlan is the output of the plan phase: everything the copy and
+// commit phases need, captured under the lock so the copy can run
+// without it.
+type cleanPlan struct {
+	victims []*segment
+	// groups holds the planned moves, one group per victim (the unit
+	// of copy fan-out); refs records who owned each move's source at
+	// plan time, for the commit phase's staleness check.
+	groups [][]device.BlockMove
+	refs   [][]blockRef
+	// rewrite collects the inodes owning live blocks in the victims;
+	// commit rewrites each at most once.
+	rewrite map[Ino]bool
+	workers int
+}
+
+// Clean runs the cleaner until at least targetFree segments are
+// reclaimable or no further progress is possible, then checkpoints:
+// the relocations become durable and the emptied segments (SegFreeing)
 // become reusable only once the medium holds a checkpoint that no
 // longer references their old contents.
+//
+// Clean is the phased, incremental form: fs.mu is held only for the
+// plan and commit windows of each pass, so foreground I/O proceeds
+// while live blocks are copied. Called with no concurrent activity it
+// is fully deterministic, and its layout is a function of the
+// workload alone — identical for any Concurrency — though, being
+// batched per round, not necessarily byte-identical to what the
+// monolithic inline pass would produce for the same inputs. If
+// another pass is already in flight, Clean returns zero stats
+// immediately.
 func (fs *FS) Clean(targetFree int) CleanStats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	cs := fs.cleanLocked(targetFree)
+	cs := fs.cleanPhased(targetFree)
 	if cs.SegmentsCleaned > 0 {
+		fs.mu.Lock()
 		// A failure leaves the freed segments gated (SegFreeing) —
 		// the safe direction; the next successful Sync releases them.
 		cs.Checkpointed = fs.syncMetaLocked() == nil
+		fs.mu.Unlock()
 	}
 	return cs
 }
 
+// cleanPhased is the incremental cleaning loop shared by Clean and the
+// background cleaner: plan under the lock, copy off it, commit under
+// it, repeat while passes still make net progress toward targetFree
+// reclaimable segments.
+func (fs *FS) cleanPhased(targetFree int) CleanStats {
+	var cs CleanStats
+	counted := false
+	for {
+		fs.mu.Lock()
+		if fs.cleaning || fs.sm.reclaimable() >= targetFree {
+			fs.mu.Unlock()
+			break
+		}
+		if !counted {
+			fs.stats.CleanerPasses++
+			counted = true
+		}
+		fs.setCleaningLocked(true)
+		before := fs.sm.reclaimable()
+		// Incremental batching: a phased round takes at most
+		// cleanBatchSegments victims, then re-locks, commits and
+		// re-plans. Small rounds keep both the plan/commit lock windows
+		// and each copy drain short — a foreground operation never
+		// waits behind more than one round's worth of cleaning — at the
+		// price of re-scoring victims between rounds. The batch size is
+		// a constant, NOT a function of the worker count: victim
+		// re-scoring between rounds depends on how the pass was
+		// batched, so a worker-dependent batch would break the
+		// layout-independence contract.
+		k := targetFree - before
+		if k > cleanBatchSegments {
+			k = cleanBatchSegments
+		}
+		victims := fs.pickVictims(k, &cs)
+		var plan *cleanPlan
+		if len(victims) > 0 {
+			plan = fs.planVictimsLocked(victims, &cs)
+		}
+		if plan == nil {
+			fs.setCleaningLocked(false)
+			fs.mu.Unlock()
+			break
+		}
+		fs.mu.Unlock()
+
+		// Copy phase: fs.mu is released; foreground appends, reads and
+		// syncs interleave with the fanned-out relocation.
+		results := fs.dev.MoveGroups(plan.groups, plan.workers)
+
+		fs.mu.Lock()
+		prevCopied := cs.BlocksCopied
+		ok := fs.commitVictimsLocked(plan, results, &cs)
+		fs.stats.CleanerCopied += uint64(cs.BlocksCopied - prevCopied)
+		progress := ok && fs.sm.reclaimable() > before
+		fs.setCleaningLocked(false)
+		fs.mu.Unlock()
+		if !progress {
+			// Gross progress without net gain — the pass consumed as
+			// many segments for copies and inode rewrites as it
+			// reclaimed — or a commit failure. Stop rather than thrash.
+			break
+		}
+	}
+	return cs
+}
+
+// cleanLocked is the monolithic cleaning loop: all three phases run
+// while the caller holds fs.mu exclusively. It is the inline fallback
+// for paths that discover they are out of space while already holding
+// the lock (appendBlock, line allocation, sync space accounting) — and
+// the exclusive-lock baseline that BenchmarkAppendDuringCleanForeground
+// measures.
 func (fs *FS) cleanLocked(targetFree int) CleanStats {
 	var cs CleanStats
 	if fs.cleaning {
 		return cs // re-entrant trigger from the cleaner's own appends
 	}
-	fs.cleaning = true
-	defer func() { fs.cleaning = false }()
+	fs.setCleaningLocked(true)
+	defer fs.setCleaningLocked(false)
 	fs.stats.CleanerPasses++
 	// Emptied segments sit in SegFreeing until the next checkpoint, so
 	// progress is measured in reclaimable (free + freeing) segments.
@@ -111,6 +251,12 @@ func (fs *FS) pickVictims(k int, cs *CleanStats) []*segment {
 			// checkpoint (which clears the flag).
 			continue
 		}
+		if s.cleanPin {
+			// Already owned by an in-flight pass. Unreachable while
+			// fs.cleaning serialises passes, but the pin is the local
+			// invariant victim selection must respect.
+			continue
+		}
 		switch s.state {
 		case SegPinned:
 			// A heat-oblivious FS would try to clean these and get
@@ -149,19 +295,40 @@ func (fs *FS) pickVictims(k int, cs *CleanStats) []*segment {
 }
 
 // cleanVictims runs the plan/copy/commit pipeline over one set of
-// victims. It reports whether the pass freed at least one segment;
-// false stops the cleaning loop.
+// victims without releasing fs.mu. It reports whether the pass freed
+// at least one segment; false stops the cleaning loop.
 func (fs *FS) cleanVictims(victims []*segment, cs *CleanStats) bool {
-	// The copy phase writes device-direct into reserved slots, so
-	// every buffered append must be on the medium first.
-	if fs.flushActiveLocked() != nil {
+	plan := fs.planVictimsLocked(victims, cs)
+	if plan == nil {
 		return false
 	}
+	results := fs.dev.MoveGroups(plan.groups, plan.workers)
+	return fs.commitVictimsLocked(plan, results, cs)
+}
 
-	// Phase 1: plan. Destinations are reserved in log order; inode
-	// blocks are relocated by rewriting (phase 3), not copying.
-	groups := make([][]device.BlockMove, len(victims))
-	rewrite := make(map[Ino]bool)
+// planVictimsLocked is phase 1: flush the active buffers (the copy
+// phase writes device-direct into reserved slots, so every buffered
+// append must be on the medium first), clean-pin the victims, and
+// reserve destinations in log order. Inode blocks are relocated by
+// rewriting (phase 3), not copying. Caller holds fs.mu exclusively; a
+// nil return means the pass cannot proceed (no pins are left behind).
+func (fs *FS) planVictimsLocked(victims []*segment, cs *CleanStats) *cleanPlan {
+	if fs.flushActiveLocked() != nil {
+		return nil
+	}
+	plan := &cleanPlan{
+		victims: victims,
+		groups:  make([][]device.BlockMove, len(victims)),
+		refs:    make([][]blockRef, len(victims)),
+		rewrite: make(map[Ino]bool),
+		workers: fs.p.Concurrency,
+	}
+	if plan.workers < 1 {
+		plan.workers = 1
+	}
+	for _, v := range victims {
+		v.cleanPin = true
+	}
 plan:
 	for vi, v := range victims {
 		end := v.start + uint64(fs.p.SegmentBlocks)
@@ -174,7 +341,7 @@ plan:
 				// A live block with no owner is a bookkeeping bug.
 				panic("lfs: live block without owner")
 			}
-			rewrite[ref.ino] = true
+			plan.rewrite[ref.ino] = true
 			if ref.idx == -1 {
 				continue
 			}
@@ -188,25 +355,36 @@ plan:
 				// blocks left behind keep their victims full.
 				break plan
 			}
-			groups[vi] = append(groups[vi], device.BlockMove{Src: pba, Dst: dst})
+			plan.groups[vi] = append(plan.groups[vi], device.BlockMove{Src: pba, Dst: dst})
+			plan.refs[vi] = append(plan.refs[vi], ref)
 		}
 	}
+	return plan
+}
 
-	// Phase 2: copy, fanned out over the configured worker count. The
-	// device advances its clock by the slowest worker.
-	workers := fs.p.Concurrency
-	if workers < 1 {
-		workers = 1
+// commitVictimsLocked is phase 3: re-validate and retarget the moved
+// blocks, account abandoned or invalidated destinations as dead space,
+// rewrite each touched inode once, then free the victims that emptied
+// and unpin the rest. Caller holds fs.mu exclusively. Returns false on
+// a commit failure (a failed inode rewrite), which stops the loop.
+func (fs *FS) commitVictimsLocked(plan *cleanPlan, results []device.MoveResult, cs *CleanStats) bool {
+	cs.Workers = plan.workers
+	defer func() {
+		for _, v := range plan.victims {
+			v.cleanPin = false
+		}
+	}()
+	vict := make(map[*segment]bool, len(plan.victims))
+	for _, v := range plan.victims {
+		vict[v] = true
 	}
-	cs.Workers = workers
-	results := fs.dev.MoveGroups(groups, workers)
-
-	// Phase 3: commit. Retarget moved blocks, account abandoned
-	// reservations as dead space, rewrite each touched inode once,
-	// then free the victims that emptied.
-	for vi := range victims {
+	// valid marks inodes that had at least one move survive validation:
+	// their in-memory block pointers changed, so they must be rewritten
+	// to the log below.
+	valid := make(map[Ino]bool)
+	for vi := range plan.victims {
 		res := results[vi]
-		for i, mv := range groups[vi] {
+		for i, mv := range plan.groups[vi] {
 			if i >= res.Completed {
 				// Never copied: the reserved slot holds nothing
 				// usable and stays unreclaimable until its segment is
@@ -216,7 +394,19 @@ plan:
 				}
 				continue
 			}
-			ref := fs.owners[mv.Src]
+			ref, ok := fs.owners[mv.Src]
+			if !ok || ref != plan.refs[vi][i] || !fs.sm.isLive(mv.Src) {
+				// The source was overwritten, deleted or heat-relocated
+				// while the copy ran off the lock: the foreground write
+				// wins, just this move is dropped, and the copied-to
+				// slot is dead space until its segment is cleaned.
+				if s := fs.sm.segOf(mv.Dst); s != nil {
+					s.dead++
+				}
+				cs.MovesInvalidated++
+				fs.stats.CleanerStaleMoves++
+				continue
+			}
 			in, err := fs.inode(ref.ino)
 			if err != nil {
 				continue // src stays live; its victim stays full
@@ -228,17 +418,28 @@ plan:
 			fs.owners[mv.Dst] = blockRef{ino: ref.ino, idx: ref.idx}
 			fs.jBlocks = append(fs.jBlocks, blockPtr{ino: ref.ino, idx: int32(ref.idx), pba: mv.Dst})
 			cs.BlocksCopied++
+			valid[ref.ino] = true
 		}
 	}
-	inos := make([]Ino, 0, len(rewrite))
-	for ino := range rewrite {
+	inos := make([]Ino, 0, len(plan.rewrite))
+	for ino := range plan.rewrite {
 		inos = append(inos, ino)
 	}
 	sortInos(inos)
 	for _, ino := range inos {
+		if !valid[ino] {
+			// No data block of this inode moved. Rewrite it anyway if
+			// its inode block still sits in a victim (that is how inode
+			// blocks are relocated); skip it if the foreground already
+			// moved everything out from under the pass.
+			s := fs.sm.segOf(fs.imap[ino])
+			if s == nil || !vict[s] {
+				continue
+			}
+		}
 		in, err := fs.inode(ino)
 		if err != nil {
-			continue
+			continue // deleted mid-copy; its blocks went stale above
 		}
 		if err := fs.writeInode(in); err != nil {
 			// Without the rewrite on the log, a later checkpoint would
@@ -250,9 +451,9 @@ plan:
 		cs.BlocksCopied++
 	}
 	progress := false
-	for _, v := range victims {
+	for _, v := range plan.victims {
 		if v.state == SegFull && v.live == 0 {
-			// Emptied, but gated until the next checkpoint stops
+			// Emptied, but gated until the next covering point stops
 			// referencing the old contents (see SegFreeing).
 			v.state = SegFreeing
 			v.next = 0
@@ -262,9 +463,10 @@ plan:
 			progress = true
 		}
 	}
-	// Errors along the way (failed plan reservations, refused copies)
-	// leave their victims partly live and thus unfreed; the loop keeps
-	// cleaning only while passes still free segments.
+	// Errors along the way (failed plan reservations, refused copies,
+	// invalidated moves) leave their victims partly live and thus
+	// unfreed; the loop keeps cleaning only while passes still free
+	// segments.
 	return progress
 }
 
@@ -272,7 +474,9 @@ plan:
 // segment without writing anything: the cleaner's copy phase fills
 // reserved slots device-direct, bypassing the group-commit buffer.
 // Caller must have flushed the active buffers first, so the pending
-// run stays the contiguous tail of the segment.
+// run stays the contiguous tail of the segment — and because the slot
+// is carved out by bumping the frontier, appends issued while the copy
+// phase runs off the lock land strictly behind every reservation.
 func (fs *FS) reserveSlot(affinity uint8) (uint64, error) {
 	if !fs.p.HeatAware {
 		affinity = 0

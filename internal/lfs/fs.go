@@ -55,8 +55,22 @@ type Params struct {
 	HeatAware bool
 
 	// ReserveSegments is the free-segment low-water mark that triggers
-	// cleaning on the write path.
+	// inline cleaning on the write path — the last-ditch fallback that
+	// runs while the appending thread holds the lock.
 	ReserveSegments int
+
+	// CleanWatermark enables background incremental cleaning: when the
+	// free pool dips to this many segments or fewer at an allocation,
+	// a background goroutine is kicked to run phased cleaning passes
+	// (plan and commit under the lock, the copy phase off it) until at
+	// least this many segments are reclaimable again, concurrently
+	// with foreground I/O. 0 (the default) disables the background
+	// cleaner: cleaning then happens only inline (ReserveSegments) or
+	// via explicit Clean calls. Negative values are invalid, as are
+	// watermarks no smaller than the segment population. To keep the
+	// foreground off the inline path entirely, set the watermark
+	// comfortably above ReserveSegments.
+	CleanWatermark int
 }
 
 // DefaultParams returns the standard heat-aware configuration.
@@ -105,6 +119,16 @@ type blockRef struct {
 // may read the device concurrently with each other; the inode cache
 // map has its own small lock (inoMu) so concurrent readers can fill
 // it without upgrading.
+//
+// Cleaning is the exception to "one lock scope per operation": a
+// phased pass (Clean, or the CleanWatermark background goroutine)
+// holds fs.mu only for its plan and commit windows and runs the copy
+// phase with the lock released, with fs.cleaning held true across the
+// gap and the victims clean-pinned (see cleaner.go for the protocol
+// and its invariants). cleanCond broadcasts every cleaning→idle
+// transition so a Sync that finds itself short of space can wait for
+// an in-flight pass to commit instead of failing with ErrFull while
+// reclaimable segments are seconds away.
 type FS struct {
 	mu  sync.RWMutex
 	dev *device.Device
@@ -138,9 +162,23 @@ type FS struct {
 	// readers see max(Size, pendSize).
 	pendSize map[Ino]uint64
 
-	// cleaning guards against the cleaner re-triggering itself via its
-	// own log appends.
-	cleaning bool
+	// cleaning serialises cleaning passes — at most one runs at a
+	// time, and it also guards against the cleaner re-triggering
+	// itself via its own log appends. A phased pass keeps it true
+	// across the unlocked copy window; it is read and written only
+	// under fs.mu. cleanCond (condition on fs.mu) is broadcast
+	// whenever cleaning goes false, so space-starved syncs can wait
+	// for an in-flight pass to commit.
+	cleaning  bool
+	cleanCond *sync.Cond
+
+	// Background cleaner state (background.go): armed lazily on the
+	// first watermark dip, torn down by Close. All three channels are
+	// nil until then; closed refuses further arming.
+	bgKick chan struct{}
+	bgStop chan struct{}
+	bgDone chan struct{}
+	closed bool
 
 	// Roll-forward journal state (summary.go, replay.go). The summary
 	// chain lives in the data log at the affinity-0 write frontier:
@@ -173,18 +211,37 @@ type FS struct {
 
 // Stats counts file-system activity for the experiments.
 type Stats struct {
-	BytesWritten    uint64
-	BlocksAppended  uint64
-	GroupCommits    uint64 // batched segment writes issued by the write path
-	CleanerCopied   uint64
-	CleanerPasses   uint64
-	CleanerSkipped  uint64 // pinned segments the cleaner refused to touch
-	HeatedFiles     uint64
+	// BytesWritten totals the payload bytes accepted by Write.
+	BytesWritten uint64
+	// BlocksAppended counts blocks appended to the log.
+	BlocksAppended uint64
+	// GroupCommits counts batched segment writes issued by the write path.
+	GroupCommits uint64
+	// CleanerCopied counts live blocks the cleaner rewrote.
+	CleanerCopied uint64
+	// CleanerPasses counts cleaning passes (inline, explicit and background).
+	CleanerPasses uint64
+	// CleanerSkipped counts pinned segments the cleaner refused to touch.
+	CleanerSkipped uint64
+	// CleanerBgRuns counts cleaning rounds in which the background
+	// watermark goroutine did real work — freed or copied something
+	// (0 when CleanWatermark is off; no-op wakeups are not counted).
+	CleanerBgRuns uint64
+	// CleanerStaleMoves counts planned moves dropped at commit because
+	// a concurrent foreground write invalidated the source mid-copy.
+	CleanerStaleMoves uint64
+	// HeatedFiles counts files frozen by HeatFile.
+	HeatedFiles uint64
+	// HeatedLineBlock counts blocks inside heated lines.
 	HeatedLineBlock uint64
-	Syncs           uint64
-	Checkpoints     uint64 // full checkpoint-region writes
-	JournalRecords  uint64 // summary-tail records written by Sync
-	JournalBlocks   uint64 // log blocks consumed by the journal (incl. jumps)
+	// Syncs counts Sync calls.
+	Syncs uint64
+	// Checkpoints counts full checkpoint-region writes.
+	Checkpoints uint64
+	// JournalRecords counts summary-tail records written by Sync.
+	JournalRecords uint64
+	// JournalBlocks counts log blocks consumed by the journal (incl. jumps).
+	JournalBlocks uint64
 }
 
 // New formats a fresh file system on dev.
@@ -230,9 +287,16 @@ func New(dev *device.Device, p Params) (*FS, error) {
 	if p.Concurrency < 1 {
 		p.Concurrency = 1
 	}
+	if p.CleanWatermark < 0 {
+		return nil, fmt.Errorf("lfs: negative clean watermark %d", p.CleanWatermark)
+	}
 	logBlocks := dev.Blocks() - ckpt
 	if logBlocks < 2*p.SegmentBlocks {
 		return nil, fmt.Errorf("lfs: device too small: %d log blocks", logBlocks)
+	}
+	if p.CleanWatermark >= logBlocks/p.SegmentBlocks {
+		return nil, fmt.Errorf("lfs: clean watermark %d not below the %d-segment log",
+			p.CleanWatermark, logBlocks/p.SegmentBlocks)
 	}
 	fs := &FS{
 		dev:        dev,
@@ -251,7 +315,49 @@ func New(dev *device.Device, p Params) (*FS, error) {
 		pendSize:   make(map[Ino]uint64),
 		jImap:      make(map[Ino]bool),
 	}
+	fs.cleanCond = sync.NewCond(&fs.mu)
 	return fs, nil
+}
+
+// setCleaningLocked flips the single-pass cleaning guard, broadcasting
+// every cleaning→idle transition so waiters (ensureSyncSpaceLocked,
+// waitCleanIdleLocked) can re-examine the free pool. Caller holds
+// fs.mu exclusively.
+func (fs *FS) setCleaningLocked(v bool) {
+	fs.cleaning = v
+	if !v {
+		fs.cleanCond.Broadcast()
+	}
+}
+
+// lowSpaceCleanLocked is the allocation paths' shared space policy: a
+// dip to the watermark wakes the background cleaner (which runs off
+// this lock); a dip to the reserve cleans inline, right here, as the
+// last resort. Caller holds fs.mu exclusively. Note the inline clean
+// no-ops while a phased pass is mid-copy (fs.cleaning): callers that
+// are at rest should waitCleanIdleLocked first; mid-flush callers
+// (appendBlock) cannot wait and rely on their operation having
+// secured space up front (ensureSyncSpaceLocked).
+func (fs *FS) lowSpaceCleanLocked() {
+	if fs.sm.freeSegments() <= fs.p.CleanWatermark {
+		fs.kickCleanerLocked()
+	}
+	if fs.sm.freeSegments() <= fs.p.ReserveSegments {
+		fs.cleanLocked(fs.p.ReserveSegments + 1)
+	}
+}
+
+// waitCleanIdleLocked blocks while an in-flight phased pass owns the
+// cleaner and the free pool is short of need segments: the pass's
+// commit is about to turn copied victims into reclaimable space, so
+// waiting beats failing with ErrFull. Caller holds fs.mu exclusively
+// and must be at rest (no flush in progress — the wait releases the
+// lock); on return either the pool covers need or no pass is in
+// flight (so an inline clean can run).
+func (fs *FS) waitCleanIdleLocked(need int) {
+	for fs.cleaning && fs.sm.freeSegments() < need {
+		fs.cleanCond.Wait()
+	}
 }
 
 // Device returns the underlying device.
@@ -658,9 +764,7 @@ func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 				return 0, err
 			}
 		}
-		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
-			fs.cleanLocked(fs.p.ReserveSegments + 1)
-		}
+		fs.lowSpaceCleanLocked()
 		seg = fs.sm.allocSegment(affinity)
 		if seg == nil {
 			return 0, ErrFull
@@ -734,16 +838,16 @@ func (fs *FS) unwedgeFreeingLocked() error {
 // net progress. Without this, a write-heavy workload near capacity
 // wedges into ErrFull with reclaimable space sitting idle.
 func (fs *FS) ensureSyncSpaceLocked() error {
-	blocks := 0
-	for _, m := range fs.dirty {
-		blocks += len(m) + 1 // data blocks plus the inode rewrite
+	need := fs.syncSpaceNeedLocked()
+	// A background pass mid-copy owns the cleaner, so cleaning inline
+	// here would no-op; rather than wedge into ErrFull with segments
+	// seconds from reclaimable, wait for the pass to commit. The wait
+	// releases fs.mu (condition variable), letting the commit in; the
+	// need is recomputed because writes may land while we sleep.
+	for fs.cleaning && fs.sm.freeSegments() < need {
+		fs.waitCleanIdleLocked(need)
+		need = fs.syncSpaceNeedLocked()
 	}
-	for ino := range fs.names {
-		if _, ok := fs.imap[ino]; !ok {
-			blocks++ // fresh inode for a never-written file
-		}
-	}
-	need := blocks/fs.p.SegmentBlocks + 1 + fs.p.ReserveSegments
 	for tries := 0; fs.sm.freeSegments() < need && tries < len(fs.sm.segs); tries++ {
 		before := fs.sm.freeSegments()
 		fs.cleanLocked(need)
@@ -755,6 +859,21 @@ func (fs *FS) ensureSyncSpaceLocked() error {
 		}
 	}
 	return nil
+}
+
+// syncSpaceNeedLocked estimates the free segments a full flush of the
+// current dirty state needs, reserve included.
+func (fs *FS) syncSpaceNeedLocked() int {
+	blocks := 0
+	for _, m := range fs.dirty {
+		blocks += len(m) + 1 // data blocks plus the inode rewrite
+	}
+	for ino := range fs.names {
+		if _, ok := fs.imap[ino]; !ok {
+			blocks++ // fresh inode for a never-written file
+		}
+	}
+	return blocks/fs.p.SegmentBlocks + 1 + fs.p.ReserveSegments
 }
 
 func (fs *FS) syncLocked() error {

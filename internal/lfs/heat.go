@@ -23,7 +23,9 @@ import (
 
 // HeatResult describes a completed heat operation.
 type HeatResult struct {
-	Ino  Ino
+	// Ino is the frozen file's inode number.
+	Ino Ino
+	// Line is the device's record of the heated line.
 	Line device.LineInfo
 	// BlocksMoved counts data+inode blocks relocated into the line.
 	BlocksMoved int
@@ -35,6 +37,13 @@ type HeatResult struct {
 func (fs *FS) HeatFile(name string) (HeatResult, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	// Wait out any in-flight background pass while space is short: its
+	// commit is about to free segments, and the inline cleans on the
+	// allocation paths below would no-op against it. This must happen
+	// before anything is resolved — the wait releases fs.mu — and the
+	// need is a coarse ceiling (a heated line never exceeds one
+	// segment, plus flush-through space and the reserve).
+	fs.waitCleanIdleLocked(fs.p.ReserveSegments + 3)
 	ino, ok := fs.dir[name]
 	if !ok {
 		return HeatResult{}, fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -159,9 +168,7 @@ func (fs *FS) allocLineClustered(logN uint8, affinity uint8) (uint64, error) {
 	cursor := fs.heatCursor[affinity]
 	cursor = alignUp(cursor, size)
 	if seg == nil || cursor+size > fs.p.SegmentBlocks {
-		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
-			fs.cleanLocked(fs.p.ReserveSegments + 1)
-		}
+		fs.lowSpaceCleanLocked()
 		seg = fs.sm.allocSegment(affinity)
 		if seg == nil {
 			return 0, ErrFull
@@ -187,9 +194,7 @@ func (fs *FS) allocLineInPlace(logN uint8, affinity uint8) (uint64, error) {
 				return 0, err
 			}
 		}
-		if fs.sm.freeSegments() <= fs.p.ReserveSegments {
-			fs.cleanLocked(fs.p.ReserveSegments + 1)
-		}
+		fs.lowSpaceCleanLocked()
 		seg = fs.sm.allocSegment(affinity)
 		if seg == nil {
 			return 0, ErrFull

@@ -49,9 +49,14 @@ const (
 
 // Inode is the on-disk metadata of one file.
 type Inode struct {
-	Ino   Ino
-	Size  uint64
-	MTime time.Duration // virtual time
+	// Ino is the file's inode number.
+	Ino Ino
+	// Size is the durable file size in bytes (what the blocks on the
+	// log cover; unflushed writes extend it only in memory).
+	Size uint64
+	// MTime is the last modification time (virtual).
+	MTime time.Duration
+	// Flags holds the inode flag bits (FlagHeated).
 	Flags byte
 	// Affinity is the heat-affinity class used by the segment
 	// clustering policy: files expected to be heated together (same

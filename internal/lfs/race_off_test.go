@@ -1,0 +1,7 @@
+//go:build !race
+
+package lfs
+
+// raceDetector reports that this build runs under the race detector;
+// see race_on_test.go.
+const raceDetector = false

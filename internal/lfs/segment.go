@@ -86,6 +86,17 @@ type segment struct {
 	// until the next checkpoint makes the chain obsolete and clears
 	// every flag.
 	journal bool
+	// cleanPin marks a victim segment whose live blocks are being
+	// relocated by an in-flight cleaning pass (set during plan, cleared
+	// at commit, always under fs.mu). While the copy phase runs with
+	// fs.mu released, foreground operations may freely invalidate
+	// blocks in a clean-pinned segment (overwrite, delete, heat-file
+	// relocation): they only flip liveness bookkeeping, and the commit
+	// phase re-validates every move against it, dropping just the moves
+	// that went stale. The pin's job is to keep the segment out of any
+	// other cleaner decision — victim selection skips it — until the
+	// owning pass commits.
+	cleanPin bool
 }
 
 // segmentManager owns all segments.
@@ -139,6 +150,7 @@ func (sm *segmentManager) allocSegment(affinity uint8) *segment {
 			s.pending = nil
 			s.affinity = affinity
 			s.journal = false
+			s.cleanPin = false
 			return s
 		}
 	}
@@ -238,20 +250,33 @@ func (s *segment) utilisation(segBlocks int) float64 {
 
 // SegmentInfo is the exported view of one segment, for experiments.
 type SegmentInfo struct {
-	ID           int
-	Start        uint64
-	State        SegmentState
-	LiveBlocks   int
+	// ID is the segment's index in the segment table.
+	ID int
+	// Start is the PBA of the segment's first block.
+	Start uint64
+	// State is the segment's lifecycle state.
+	State SegmentState
+	// LiveBlocks counts blocks still referenced by an inode.
+	LiveBlocks int
+	// HeatedBlocks counts blocks inside heated (tamper-evident) lines.
 	HeatedBlocks int
 	// DeadBlocks counts invalidated blocks; in a pinned segment they
 	// are lost forever (the §4.1 stranding cost).
 	DeadBlocks int
-	Blocks     int
-	Affinity   uint8
+	// Blocks is the segment size in blocks.
+	Blocks int
+	// Affinity is the heat-affinity class of the appender that filled
+	// the segment.
+	Affinity uint8
 	// Journal reports that the segment holds part of the current
 	// epoch's summary chain and is therefore shielded from the
 	// cleaner until the next checkpoint.
-	Journal        bool
+	Journal bool
+	// CleanPin reports that an in-flight cleaning pass is relocating
+	// the segment's live blocks (plan committed, copy possibly still
+	// running off the lock).
+	CleanPin bool
+	// HeatedFraction is HeatedBlocks over the segment size.
 	HeatedFraction float64
 }
 
@@ -269,6 +294,7 @@ func (sm *segmentManager) snapshot() []SegmentInfo {
 			Blocks:         sm.segBlocks,
 			Affinity:       s.affinity,
 			Journal:        s.journal,
+			CleanPin:       s.cleanPin,
 			HeatedFraction: float64(s.heatedBlocks) / float64(sm.segBlocks),
 		})
 	}

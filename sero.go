@@ -77,16 +77,28 @@
 // (sequence continuity, checksums, back-pointer agreement with the
 // imap) the way cmd/serofsck reports it.
 //
+// # Cleaning: incremental, backgroundable, off the foreground lock
+//
 // The LFS cleaner fans out over FSOptions.Concurrency like Audit
 // does: a pass picks its cost-benefit victims, plans every live
 // block's destination serially (so the post-clean layout is a
 // function of the workload alone, identical for any worker count),
 // copies victim segments concurrently on private worker planes, and
 // commits metadata serially, rewriting each affected inode once.
+// A pass is phased against the FS lock: plan and commit hold it
+// briefly, while the copy phase — the expensive part — runs with the
+// lock released, victims guarded by a per-segment clean-pin. A
+// foreground write that invalidates a block mid-copy wins: the commit
+// phase re-validates every move and drops just the stale ones. With
+// FSOptions.CleanWatermark set, passes run from a background
+// goroutine whenever the free pool dips to the watermark, so
+// foreground appends stop paying for whole cleaning passes (see
+// cmd/serosim's e16-background-clean experiment); FS.Close stops it.
 // Segments the cleaner empties stay gated (SegFreeing) until a
-// checkpoint that no longer references their old contents is on the
-// medium — only then may fresh appends reuse them, so a crash-mount
-// never reads recycled blocks.
+// covering point (a Sync's summary record or a checkpoint) that no
+// longer references their old contents is on the medium — only then
+// may fresh appends reuse them, so a crash-mount never reads recycled
+// blocks, even for a crash in the middle of a background pass.
 //
 // Virtual time under parallelism is defined as follows. Foreground
 // operations charge the shared device clock, which accumulates the
@@ -320,6 +332,15 @@ type FSOptions struct {
 	// virtual time. 0 defaults to the device's configured width;
 	// negative values clamp to serial.
 	Concurrency int
+	// CleanWatermark moves cleaning off the foreground lock: when the
+	// free pool dips to this many segments, a background goroutine
+	// runs incremental plan/copy/commit passes — the expensive copy
+	// phase with the FS lock released — until that many segments are
+	// reclaimable again. 0 (the default) keeps cleaning foreground-
+	// only (inline on the append path, or explicit FS.Clean). Call
+	// FS.Close to stop the background cleaner; negative values are
+	// rejected.
+	CleanWatermark int
 }
 
 // fsParams translates FSOptions into lfs parameters (shared by NewFS
@@ -341,6 +362,7 @@ func fsParams(d *Device, o FSOptions) lfs.Params {
 	if p.Concurrency == 0 {
 		p.Concurrency = d.Concurrency()
 	}
+	p.CleanWatermark = o.CleanWatermark
 	return p
 }
 
