@@ -6,12 +6,16 @@
 // slowly) all the heated files". It then checks the file-system side
 // of recovery: the roll-forward summary chain is verified end to end
 // (sequence continuity, chained checksums, back-pointer agreement with
-// the imap) and the checkpoint age and replayable-tail length are
-// reported.
+// the imap), the checkpointed liveness table is cross-checked against
+// the blocks the inodes actually own, and the checkpoint age and
+// replayable-tail length are reported. Damage is a finding, not a
+// tolerated condition: a double-torn checkpoint region (both slots
+// damaged — a medium that must not be mounted as empty), a rejected
+// liveness table, or table/imap disagreements all exit non-zero.
 //
 // Usage:
 //
-//	serofsck [-blocks N] [-attack none|wipe|erase] [-j workers]
+//	serofsck [-blocks N] [-attack none|wipe|erase] [-j workers] [-inject none|torn-checkpoints|table]
 //
 // Flags (all validated, nonsensical values are rejected rather than
 // silently clamped):
@@ -22,14 +26,23 @@
 //	           (default wipe)
 //	-j N       scan/audit worker fan-out; must be positive, 1 = serial
 //	           (default 1)
+//	-inject M  file-system damage to inject before the journal check,
+//	           demonstrating the detection paths: none, torn-checkpoints
+//	           (tear both checkpoint slots; the check must refuse the
+//	           medium) or table (corrupt the liveness-table bytes; the
+//	           check must reject the table). Either injection makes
+//	           serofsck exit non-zero — that is the point (default none)
 //
 // Example invocations:
 //
-//	serofsck                      # wipe attack, serial scan
-//	serofsck -attack erase -j 4   # bulk erase, fanned-out recovery scan
+//	serofsck                        # wipe attack, serial scan
+//	serofsck -attack erase -j 4     # bulk erase, fanned-out recovery scan
+//	serofsck -inject torn-checkpoints  # exercise the double-torn finding
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,9 +54,16 @@ func main() {
 	blocks := flag.Int("blocks", 1024, "device size in 512-byte blocks")
 	attackMode := flag.String("attack", "wipe", "attacker action before the scan: none, wipe, erase")
 	workers := flag.Int("j", 1, "scan/audit concurrency (worker count; 1 = serial)")
+	inject := flag.String("inject", "none", "file-system damage to inject: none, torn-checkpoints, table")
 	flag.Parse()
 	if *workers <= 0 {
 		fmt.Fprintf(os.Stderr, "serofsck: -j must be positive (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	switch *inject {
+	case "none", "torn-checkpoints", "table":
+	default:
+		fmt.Fprintf(os.Stderr, "serofsck: unknown -inject %q (want none, torn-checkpoints or table)\n", *inject)
 		os.Exit(2)
 	}
 
@@ -51,17 +71,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serofsck:", err)
 		os.Exit(1)
 	}
-	if err := fsckJournal(*blocks, *workers); err != nil {
+	if err := fsckJournal(*blocks, *workers, *inject); err != nil {
 		fmt.Fprintln(os.Stderr, "serofsck:", err)
 		os.Exit(1)
 	}
 }
 
 // fsckJournal builds a file system whose syncs ride the summary tail,
-// then verifies the chain the way a recovery fsck would: mount from
-// the last checkpoint, roll forward, and cross-check the journaled
-// back-pointers against the replayed imap.
-func fsckJournal(blocks, workers int) error {
+// optionally injects checkpoint-region damage, then verifies the chain
+// the way a recovery fsck would: mount from the last checkpoint, roll
+// forward, cross-check the journaled back-pointers against the
+// replayed imap and the liveness table against the inodes. Any
+// damage — including the double-torn condition, where no checkpoint
+// slot survives — is a finding returned as an error (non-zero exit),
+// never silently tolerated.
+func fsckJournal(blocks, workers int, inject string) error {
 	fmt.Println("\n== file-system journal check ==")
 	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
 	opts := sero.FSOptions{
@@ -95,16 +119,107 @@ func fsckJournal(blocks, workers int) error {
 	if err := fs.Sync(); err != nil {
 		return err
 	}
+	if err := injectDamage(dev, fs, inject); err != nil {
+		return err
+	}
 	rep, err := sero.CheckFSJournal(dev, opts)
+	if errors.Is(err, sero.ErrTornCheckpoint) {
+		return fmt.Errorf("FINDING: both checkpoint slots are torn or corrupt — "+
+			"the medium has been formatted but no consistent state survives; "+
+			"refusing to treat it as an empty file system (%w)", err)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.Summary())
 	if !rep.Healthy() {
-		return fmt.Errorf("summary chain failed verification: %+v", rep)
+		return fmt.Errorf("FINDING: summary chain failed verification: "+
+			"%d imap mismatches, %d back-pointer mismatches, liveness table %s (%d disagreements)",
+			rep.ImapMismatches, rep.BackPtrMismatches, tableState(rep), rep.TableMismatches)
 	}
-	fmt.Println("summary chain verified: every acked sync is replayable")
+	fmt.Println("summary chain verified: every acked sync is replayable, liveness table agrees")
 	return nil
+}
+
+// tableState renders the liveness-table half of a report for the
+// findings line.
+func tableState(rep sero.FSJournalReport) string {
+	switch {
+	case !rep.TablePresent:
+		return "absent"
+	case !rep.TableValid:
+		return fmt.Sprintf("REJECTED (%s)", rep.TableStop)
+	default:
+		return "valid"
+	}
+}
+
+// injectDamage applies the requested -inject fault to the checkpoint
+// region through the raw device interface — the same writes an
+// attacker or a failing controller could issue.
+func injectDamage(dev *sero.Device, fs *sero.FS, inject string) error {
+	if inject == "none" {
+		return nil
+	}
+	slot := fs.Params().CheckpointBlocks / 2
+	switch inject {
+	case "torn-checkpoints":
+		fmt.Println("injecting: tearing both checkpoint slots")
+		garbage := make([]byte, sero.BlockSize)
+		for i := range garbage {
+			garbage[i] = 0xEE
+		}
+		for _, base := range []uint64{0, uint64(slot)} {
+			if err := dev.Write(base, garbage); err != nil {
+				return err
+			}
+		}
+	case "table":
+		fmt.Println("injecting: corrupting the checkpointed liveness table")
+		// Each slot frames [len][core][sum][table-len][table][table-sum];
+		// flip the first byte of the table payload in every written
+		// slot, leaving the core frame — and so the checkpoint — intact.
+		corrupted := false
+		for _, base := range []uint64{0, uint64(slot)} {
+			img, ok := readSlotPrefix(dev, base, slot)
+			if !ok {
+				continue
+			}
+			total := binary.BigEndian.Uint64(img[:8])
+			if total == 0 || total+24 >= uint64(len(img)) {
+				continue
+			}
+			tlen := binary.BigEndian.Uint64(img[total+16 : total+24])
+			if tlen == 0 {
+				continue
+			}
+			off := total + 24 // first byte of the table payload
+			blk := off / uint64(sero.BlockSize)
+			data := img[blk*uint64(sero.BlockSize) : (blk+1)*uint64(sero.BlockSize)]
+			data[off%uint64(sero.BlockSize)] ^= 0xFF
+			if err := dev.Write(base+blk, data); err != nil {
+				return err
+			}
+			corrupted = true
+		}
+		if !corrupted {
+			return fmt.Errorf("inject table: no liveness table found to corrupt")
+		}
+	}
+	return nil
+}
+
+// readSlotPrefix reads the readable prefix of a checkpoint slot.
+func readSlotPrefix(dev *sero.Device, base uint64, blocks int) ([]byte, bool) {
+	var img []byte
+	for i := 0; i < blocks; i++ {
+		data, err := dev.Read(base + uint64(i))
+		if err != nil {
+			break
+		}
+		img = append(img, data...)
+	}
+	return img, len(img) > 0
 }
 
 func run(blocks int, attackMode string, workers int) error {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunAllAttackModes(t *testing.T) {
 	for _, mode := range []string{"none", "wipe", "erase"} {
@@ -17,7 +20,23 @@ func TestRunUnknownMode(t *testing.T) {
 }
 
 func TestFsckJournal(t *testing.T) {
-	if err := fsckJournal(1024, 2); err != nil {
+	if err := fsckJournal(1024, 2, "none"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFsckJournalFindings pins the check-finding paths: injected
+// checkpoint damage must surface as a FINDING error (the non-zero
+// exit), never be tolerated silently.
+func TestFsckJournalFindings(t *testing.T) {
+	err := fsckJournal(1024, 1, "torn-checkpoints")
+	if err == nil || !strings.Contains(err.Error(), "FINDING") ||
+		!strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn-checkpoints injection not reported as a finding: %v", err)
+	}
+	err = fsckJournal(1024, 1, "table")
+	if err == nil || !strings.Contains(err.Error(), "FINDING") ||
+		!strings.Contains(err.Error(), "REJECTED") {
+		t.Fatalf("table injection not reported as a finding: %v", err)
 	}
 }

@@ -44,6 +44,10 @@
 //	e16-background-clean  foreground append latency vs an in-flight
 //	              cleaning pass: exclusive lock vs phased/overlapped,
 //	              plus the CleanWatermark background-goroutine policy
+//	e17-mount-scale  mount cost vs namespace width: the checkpointed
+//	              liveness table (O(segments + replayed tail)) against
+//	              the full inode walk (O(files)), serial and fanned
+//	              over -j worker planes
 //
 // Example invocations:
 //
@@ -51,6 +55,7 @@
 //	serosim -j 8 -writeback 16 e14-writepath
 //	serosim -ckpt-every 64 e15-recovery    # denser checkpoints, shorter replay
 //	serosim -j 4 -watermark 8 e16-background-clean
+//	serosim -j 4 e17-mount-scale           # fanned-walk column at 4 workers
 package main
 
 import (
@@ -95,6 +100,7 @@ func main() {
 		"e1-latency", "e2-gc", "e3-bimodal", "e4-attacks",
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
 		"e14-writepath", "e15-recovery", "e16-background-clean",
+		"e17-mount-scale",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -213,6 +219,12 @@ func run(name string, seed uint64) error {
 		fmt.Print(res.Table())
 	case "e16-background-clean":
 		res, err := experiments.RunE16(fsFlags.workers, fsFlags.watermark)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+	case "e17-mount-scale":
+		res, err := experiments.RunE17(fsFlags.workers, 8)
 		if err != nil {
 			return err
 		}

@@ -179,3 +179,77 @@ func (d *Device) writeMoveRun(pl *plane, start uint64, bufs [][]byte) error {
 	d.writeRunOn(pl, start, bufs)
 	return nil
 }
+
+// ReadBlocksFanned magnetically reads an arbitrary set of blocks on a
+// pool of worker planes — the mount-time inode walk's engine. The
+// input is split into contiguous index ranges, one per worker (a
+// static partition, like VerifyLines, so virtual time is a function of
+// the workload alone, never of host scheduling) — contiguous rather
+// than round-robin because seek cost scales with travel distance: a
+// caller that presents an address-sorted run keeps every worker's
+// seeks inside its own 1/workers-th of the span, where a strided split
+// would march every worker across the whole of it. When the pool
+// drains the device clock advances by the *maximum* per-worker elapsed
+// virtual time: a fanned-out walk costs its slowest worker, not the
+// sum. Results are assembled in input order for any worker count; a
+// block that cannot be read yields a nil buffer and its error in the
+// matching errs slot (other reads proceed — the caller decides whether
+// a failure is fatal). workers <= 0 means the device's configured
+// Concurrency.
+func (d *Device) ReadBlocksFanned(pbas []uint64, workers int) (bufs [][]byte, errs []error) {
+	bufs = make([][]byte, len(pbas))
+	errs = make([]error, len(pbas))
+	if len(pbas) == 0 {
+		return bufs, errs
+	}
+	if workers <= 0 {
+		workers = d.Concurrency()
+	}
+	if workers > len(pbas) {
+		workers = len(pbas)
+	}
+	per := (len(pbas) + workers - 1) / workers
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	planes := make([]*plane, 0, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(pbas) {
+			hi = len(pbas)
+		}
+		if lo >= hi {
+			break
+		}
+		pl := d.newPlane()
+		planes = append(planes, pl)
+		wg.Add(1)
+		go func(lo, hi int, pl *plane) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				bufs[i], errs[i] = d.readBlockOn(pl, pbas[i])
+			}
+		}(lo, hi, pl)
+	}
+	wg.Wait()
+	d.drainPlanes(planes)
+	return bufs, errs
+}
+
+// readBlockOn reads one block on the given plane under its stripe
+// lock, mirroring MRS's checks. Caller holds the gate read lock.
+func (d *Device) readBlockOn(pl *plane, pba uint64) ([]byte, error) {
+	if err := d.checkPBA(pba); err != nil {
+		return nil, err
+	}
+	locked := d.lockBlock(pba)
+	defer d.unlockBlock(locked)
+	if err := d.magReadCheck(pba); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, DataBytes)
+	if _, err := d.mrsInto(pl, pba, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sero/internal/device"
+	"sero/internal/lfs"
+)
+
+// E17 — mount at scale. Sweeps the namespace width and measures how a
+// mount rebuilds segment liveness: the checkpointed liveness table
+// (mount cost O(segments + replayed tail), independent of how many
+// files exist) against the full inode walk it replaced (O(namespace)),
+// both serial and fanned out over worker planes. The table bounds
+// remount time after a crash no matter how large the namespace has
+// grown — the walk's cost line grows with the file population while
+// the table's stays flat.
+
+// E17Row is one namespace-width configuration.
+type E17Row struct {
+	// Files is the namespace width (each file carries one data block).
+	Files int
+	// TailRecords is the summary-tail length the mounts rolled forward.
+	TailRecords int
+	// TableNS is the virtual mount cost riding the liveness table.
+	TableNS time.Duration
+	// WalkNS and WalkFannedNS are the full-walk fallback's virtual
+	// mount costs, serial and fanned over the configured workers.
+	WalkNS, WalkFannedNS time.Duration
+	// InodesWalked counts inode blocks the fallback had to read.
+	InodesWalked int
+}
+
+// E17Result holds the mount-scale sweep.
+type E17Result struct {
+	// Workers is the fan-out width of the fanned-walk column.
+	Workers int
+	// Tail is the journal-tail length (in syncs) built before each
+	// mount.
+	Tail int
+	// Rows holds one entry per namespace width.
+	Rows []E17Row
+}
+
+// RunE17 sweeps namespace widths and measures the three mount regimes
+// (table, serial walk, fanned walk) over the same image. workers is
+// the fan-out width of the fanned column; tail the number of journaled
+// syncs left unreplayed in front of each mount.
+func RunE17(workers, tail int) (E17Result, error) {
+	res := E17Result{Workers: workers, Tail: tail}
+	for _, files := range []int{32, 128, 512} {
+		dev := quietDevice(16384)
+		p := lfs.Params{
+			SegmentBlocks: 64, CheckpointBlocks: 256, WritebackBlocks: 64,
+			CheckpointEvery: 1 << 20, HeatAware: true, ReserveSegments: 2,
+		}
+		fs, err := lfs.New(dev, p)
+		if err != nil {
+			return res, err
+		}
+		inos := make([]lfs.Ino, files)
+		for i := range inos {
+			if inos[i], err = fs.Create(fmt.Sprintf("f%05d", i), 0); err != nil {
+				return res, err
+			}
+			if err := fs.WriteFile(inos[i], make([]byte, device.DataBytes)); err != nil {
+				return res, err
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			return res, err
+		}
+		if err := fs.Checkpoint(); err != nil {
+			return res, err
+		}
+		for n := 0; n < tail; n++ {
+			if err := fs.Write(inos[n%files], 0, make([]byte, device.DataBytes)); err != nil {
+				return res, err
+			}
+			if err := fs.Sync(); err != nil {
+				return res, err
+			}
+		}
+
+		row := E17Row{Files: files}
+		mount := func(q lfs.Params) (*lfs.FS, time.Duration, error) {
+			t0 := dev.Clock().Now()
+			m, merr := lfs.Mount(dev, q)
+			return m, dev.Clock().Now() - t0, merr
+		}
+		m, d, err := mount(p)
+		if err != nil {
+			return res, err
+		}
+		if !m.MountReport().TableMount {
+			return res, fmt.Errorf("e17: mount fell back to the walk: %q", m.MountReport().Fallback)
+		}
+		row.TableNS = d
+		pw := p
+		pw.NoLivenessTable = true
+		m, d, err = mount(pw)
+		if err != nil {
+			return res, err
+		}
+		row.WalkNS = d
+		row.InodesWalked = m.MountReport().InodesRead
+		pw.Concurrency = workers
+		_, d, err = mount(pw)
+		if err != nil {
+			return res, err
+		}
+		row.WalkFannedNS = d
+		row.TailRecords = tail
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders E17.
+func (r E17Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E17 — mount at scale: checkpointed liveness table vs full inode walk (tail %d records, fanned walk j=%d)\n",
+		r.Tail, r.Workers)
+	b.WriteString("files     table-mount   walk-mount  walk-fanned   inodes-read  speedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %12v %12v %12v %13d %8.1fx\n",
+			row.Files, row.TableNS, row.WalkNS, row.WalkFannedNS,
+			row.InodesWalked, float64(row.WalkNS)/float64(row.TableNS))
+	}
+	if n := len(r.Rows); n > 1 {
+		first, last := r.Rows[0], r.Rows[n-1]
+		fmt.Fprintf(&b, "namespace grew %dx; walk-mount cost grew %.1fx while table-mount cost grew %.1fx — mount is O(segments + tail), not O(files)\n",
+			last.Files/first.Files,
+			float64(last.WalkNS)/float64(first.WalkNS),
+			float64(last.TableNS)/float64(first.TableNS))
+	}
+	return b.String()
+}

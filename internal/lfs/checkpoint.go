@@ -16,9 +16,14 @@ import (
 // checkpoint intact — Mount picks the newest valid slot and rolls
 // forward through that epoch's summary chain (replay.go). Each slot
 // holds the serialized imap and directory plus the journal anchor
-// (epoch, virtual write time, chain start); everything else (segment
-// live counts, owners, pins) is reconstructed by walking the inodes
-// and asking the device for its heated lines.
+// (epoch, virtual write time, chain start), followed by an optional
+// *liveness table*: the per-segment usage summary (every live block's
+// owner) that lets a mount rebuild the segment table and owner map
+// without re-reading a single inode. The table is framed and
+// checksummed independently of the core payload, so a damaged table
+// degrades the mount to the full inode walk instead of invalidating
+// the whole slot; a table too large for the slot is simply omitted
+// (length 0), with the same fallback.
 //
 // A checkpoint is a replay shortcut, not the unit of durability:
 // Sync normally appends a summary record and leaves the checkpoint
@@ -26,25 +31,170 @@ import (
 // (Params.CheckpointEvery appended blocks), on explicit Checkpoint(),
 // and whenever a delta cannot be journaled.
 
-const ckptMagic = "SCK2"
+const (
+	ckptMagic = "SCK3"
+	// tableMagic heads the serialized liveness table inside a slot.
+	tableMagic = "SLT1"
+)
 
 // ErrBadCheckpoint reports that no valid checkpoint slot exists.
 var ErrBadCheckpoint = errors.New("lfs: bad checkpoint")
 
+// ErrTornCheckpoint reports that both checkpoint slots hold data but
+// neither validates — a double-torn or corrupted checkpoint region.
+// Unlike a pristine medium (ErrBadCheckpoint alone), this is evidence
+// of damage: the medium has been formatted and synced, and mounting it
+// as empty would silently discard the namespace. ErrTornCheckpoint
+// wraps ErrBadCheckpoint, so errors.Is against either sentinel works.
+var ErrTornCheckpoint = fmt.Errorf("%w: both checkpoint slots torn", ErrBadCheckpoint)
+
 // slotBlocks is the size of one checkpoint slot in blocks.
 func (fs *FS) slotBlocks() int { return fs.p.CheckpointBlocks / 2 }
 
-// ckptSum is the integrity checksum over a serialized checkpoint.
+// ckptSum is the integrity checksum over a serialized checkpoint (and,
+// separately, over its liveness table).
 func ckptSum(payload []byte) uint64 {
 	h := fnv.New64a()
 	h.Write(payload)
 	return h.Sum64()
 }
 
-// writeCheckpointLocked serializes imap+directory into the next
-// checkpoint slot and re-anchors the summary chain at the affinity-0
-// write frontier, where the slot's jstart names the promise block the
-// first record of the new epoch must land in.
+// liveRef is one liveness-table entry: block pba is live and owned by
+// ino (idx is the data block index, or -1 for the inode block itself).
+type liveRef struct {
+	pba uint64
+	ino Ino
+	idx int32
+}
+
+// encodeTableLocked serializes the per-segment liveness table from the
+// live map and owner map: for every segment, in id order, its live
+// blocks in offset order with their owners. Deterministic by
+// construction — identical histories produce identical tables. Caller
+// holds fs.mu exclusively.
+func (fs *FS) encodeTableLocked() []byte {
+	var buf []byte
+	buf = append(buf, tableMagic...)
+	groups := 0
+	groupCountAt := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // patched below
+	for _, s := range fs.sm.segs {
+		if s.live == 0 {
+			continue
+		}
+		groups++
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.id))
+		countAt := len(buf)
+		buf = binary.BigEndian.AppendUint16(buf, 0) // patched below
+		n := 0
+		for off := 0; off < fs.sm.segBlocks; off++ {
+			pba := s.start + uint64(off)
+			if !fs.sm.liveMap[pba] {
+				continue
+			}
+			ref, ok := fs.owners[pba]
+			if !ok {
+				// A live block with no owner is a bookkeeping bug, the
+				// same invariant the cleaner's plan phase asserts.
+				panic("lfs: live block without owner")
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(off))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(ref.ino))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(int32(ref.idx)))
+			n++
+		}
+		binary.BigEndian.PutUint16(buf[countAt:], uint16(n))
+	}
+	binary.BigEndian.PutUint32(buf[groupCountAt:], uint32(groups))
+	return buf
+}
+
+// parseTable decodes and cross-checks a slot's liveness table against
+// the slot's own imap. A non-empty reason means the table must not be
+// trusted — the mount falls back to the full inode walk. The checks
+// are purely structural and in-memory (no device reads): segment ids
+// and offsets in range and strictly ordered, every owner present in
+// the imap, and exactly one inode-block entry per ino that appears,
+// agreeing with the imap pointer. Heated files legitimately have no
+// entries at all (their blocks live under line pins, not the live
+// map).
+func (fs *FS) parseTable(buf []byte, imap map[Ino]uint64) ([]liveRef, string) {
+	if len(buf) < 8 || string(buf[:4]) != tableMagic {
+		return nil, "bad table magic"
+	}
+	groups := int(binary.BigEndian.Uint32(buf[4:8]))
+	off := 8
+	// Non-nil even when empty: a zero-group table (empty or all-heated
+	// namespace) is valid, and nil is the "rejected" sentinel.
+	refs := []liveRef{}
+	inoBlock := make(map[Ino]uint64) // ino -> its idx==-1 entry's pba
+	hasData := make(map[Ino]bool)
+	lastSeg := -1
+	for g := 0; g < groups; g++ {
+		if off+6 > len(buf) {
+			return nil, "truncated group header"
+		}
+		segID := int(binary.BigEndian.Uint32(buf[off:]))
+		count := int(binary.BigEndian.Uint16(buf[off+4:]))
+		off += 6
+		if segID <= lastSeg || segID >= len(fs.sm.segs) {
+			return nil, "segment id out of order or range"
+		}
+		lastSeg = segID
+		if count == 0 || count > fs.sm.segBlocks {
+			return nil, "group count out of range"
+		}
+		seg := fs.sm.segs[segID]
+		lastOff := -1
+		for i := 0; i < count; i++ {
+			if off+14 > len(buf) {
+				return nil, "truncated entry"
+			}
+			bo := int(binary.BigEndian.Uint16(buf[off:]))
+			ino := Ino(binary.BigEndian.Uint64(buf[off+2:]))
+			idx := int32(binary.BigEndian.Uint32(buf[off+10:]))
+			off += 14
+			if bo <= lastOff || bo >= fs.sm.segBlocks {
+				return nil, "block offset out of order or range"
+			}
+			lastOff = bo
+			pba := seg.start + uint64(bo)
+			ipba, known := imap[ino]
+			if !known {
+				return nil, "owner not in imap"
+			}
+			if idx == -1 {
+				if _, dup := inoBlock[ino]; dup {
+					return nil, "duplicate inode-block entry"
+				}
+				if ipba != pba {
+					return nil, "inode-block entry disagrees with imap"
+				}
+				inoBlock[ino] = pba
+			} else if idx < 0 {
+				return nil, "negative data index"
+			} else {
+				hasData[ino] = true
+			}
+			refs = append(refs, liveRef{pba: pba, ino: ino, idx: idx})
+		}
+	}
+	if off != len(buf) {
+		return nil, "trailing bytes"
+	}
+	for ino := range hasData {
+		if _, ok := inoBlock[ino]; !ok {
+			return nil, "data entries without an inode-block entry"
+		}
+	}
+	return refs, ""
+}
+
+// writeCheckpointLocked serializes imap+directory (and the liveness
+// table, when it fits the slot) into the next checkpoint slot and
+// re-anchors the summary chain at the affinity-0 write frontier, where
+// the slot's jstart names the promise block the first record of the
+// new epoch must land in.
 func (fs *FS) writeCheckpointLocked() error {
 	epoch := fs.ckptEpoch + 1
 	// Pick the anchor: the next free block of the affinity-0 appender.
@@ -102,12 +252,31 @@ func (fs *FS) writeCheckpointLocked() error {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(fs.dir[n]))
 	}
 
-	// Frame with total length and checksum, split across the slot's
-	// blocks, and commit as one batched write command.
+	// Frame with total length and checksum, then append the liveness
+	// table under its own length+checksum framing — a damaged or
+	// oversized table must cost only the table, never the checkpoint.
 	framed := binary.BigEndian.AppendUint64(nil, uint64(len(buf)))
 	framed = append(framed, buf...)
 	framed = binary.BigEndian.AppendUint64(framed, ckptSum(buf))
 	slot := fs.slotBlocks()
+	slotBytes := slot * device.DataBytes
+	table := []byte(nil)
+	// The table's offset and count fields are uint16, so segments
+	// beyond 64Ki blocks cannot be represented: omit the table (the
+	// mount then walks) rather than emit one that rejects forever.
+	if !fs.p.NoLivenessTable && fs.p.SegmentBlocks <= 0xFFFF {
+		table = fs.encodeTableLocked()
+	}
+	if len(table) > 0 && len(framed)+8+len(table)+8 <= slotBytes {
+		framed = binary.BigEndian.AppendUint64(framed, uint64(len(table)))
+		framed = append(framed, table...)
+		framed = binary.BigEndian.AppendUint64(framed, ckptSum(table))
+	} else {
+		// No table (disabled, or it does not fit the slot): an explicit
+		// zero length, so a reader never misparses stale residue from an
+		// earlier, larger checkpoint in the same slot.
+		framed = binary.BigEndian.AppendUint64(framed, 0)
+	}
 	needBlocks := (len(framed) + device.DataBytes - 1) / device.DataBytes
 	if needBlocks > slot {
 		return fmt.Errorf("lfs: checkpoint of %d blocks exceeds slot of %d (region %d)",
@@ -158,36 +327,76 @@ type ckptImage struct {
 	jstart    uint64
 	imap      map[Ino]uint64
 	dir       map[string]Ino
+	// table is the slot's parsed liveness table (nil when absent or
+	// rejected); tablePresent records that a non-empty table was
+	// written, and tableStop why it was rejected, for diagnostics.
+	table        []liveRef
+	tablePresent bool
+	tableStop    string
 }
 
+// slotStatus classifies one checkpoint slot.
+type slotStatus int
+
+const (
+	// slotEmpty: the slot was never written (or holds only zeros) — the
+	// shape of a pristine medium.
+	slotEmpty slotStatus = iota
+	// slotValid: the slot parses and its checksum agrees.
+	slotValid
+	// slotTorn: the slot holds data that fails validation — a torn
+	// checkpoint write, or corruption.
+	slotTorn
+)
+
 // readSlot parses the checkpoint slot at the given base block. A nil
-// return means the slot holds no valid checkpoint — unwritten, torn,
-// or corrupt; the caller decides whether that is fatal.
-func (fs *FS) readSlot(base uint64) *ckptImage {
+// image with slotTorn means the slot holds damaged data; with
+// slotEmpty, that nothing was ever written there. The caller decides
+// what is fatal.
+func (fs *FS) readSlot(base uint64) (*ckptImage, slotStatus) {
 	first, err := fs.dev.MRS(base)
 	if err != nil {
-		return nil
+		// An unreadable first block is the unwritten shape: the medium
+		// frames every written block, so a torn slot write still leaves
+		// readable blocks behind.
+		return nil, slotEmpty
+	}
+	empty := true
+	for _, b := range first {
+		if b != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return nil, slotEmpty
 	}
 	total := binary.BigEndian.Uint64(first[:8])
 	slotBytes := uint64(fs.slotBlocks() * device.DataBytes)
 	if total == 0 || total > slotBytes-16 {
-		return nil
+		return nil, slotTorn
 	}
 	framed := append([]byte(nil), first...)
-	for uint64(len(framed)) < total+16 {
-		blk := base + uint64(len(framed)/device.DataBytes)
-		data, rerr := fs.dev.MRS(blk)
-		if rerr != nil {
-			return nil
+	readTo := func(n uint64) bool {
+		for uint64(len(framed)) < n {
+			blk := base + uint64(len(framed)/device.DataBytes)
+			data, rerr := fs.dev.MRS(blk)
+			if rerr != nil {
+				return false
+			}
+			framed = append(framed, data...)
 		}
-		framed = append(framed, data...)
+		return true
+	}
+	if !readTo(total + 16) {
+		return nil, slotTorn
 	}
 	buf := framed[8 : 8+total]
 	if ckptSum(buf) != binary.BigEndian.Uint64(framed[8+total:16+total]) {
-		return nil
+		return nil, slotTorn
 	}
 	if len(buf) < 40 || string(buf[:4]) != ckptMagic {
-		return nil
+		return nil, slotTorn
 	}
 	ck := &ckptImage{
 		epoch:     binary.BigEndian.Uint64(buf[4:12]),
@@ -198,13 +407,13 @@ func (fs *FS) readSlot(base uint64) *ckptImage {
 		dir:       make(map[string]Ino),
 	}
 	if ck.epoch == 0 {
-		return nil
+		return nil, slotTorn
 	}
 	off := 36
 	nImap := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
 	if off+16*nImap > len(buf) {
-		return nil
+		return nil, slotTorn
 	}
 	for i := 0; i < nImap; i++ {
 		ino := Ino(binary.BigEndian.Uint64(buf[off:]))
@@ -213,18 +422,18 @@ func (fs *FS) readSlot(base uint64) *ckptImage {
 		ck.imap[ino] = pba
 	}
 	if off+4 > len(buf) {
-		return nil
+		return nil, slotTorn
 	}
 	nDir := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
 	for i := 0; i < nDir; i++ {
 		if off+1 > len(buf) {
-			return nil
+			return nil, slotTorn
 		}
 		nl := int(buf[off])
 		off++
 		if off+nl+8 > len(buf) {
-			return nil
+			return nil, slotTorn
 		}
 		name := string(buf[off : off+nl])
 		off += nl
@@ -232,39 +441,93 @@ func (fs *FS) readSlot(base uint64) *ckptImage {
 		off += 8
 		ck.dir[name] = ino
 	}
-	return ck
+	fs.readSlotTable(ck, base, total, readTo, &framed)
+	return ck, slotValid
 }
 
-// loadBestCheckpoint parses both slots and returns the valid one with
-// the highest epoch, or nil when neither slot holds a checkpoint.
-func (fs *FS) loadBestCheckpoint() *ckptImage {
-	a := fs.readSlot(0)
-	b := fs.readSlot(uint64(fs.slotBlocks()))
-	switch {
-	case a == nil:
-		return b
-	case b == nil:
-		return a
-	case a.epoch >= b.epoch:
-		return a
-	default:
-		return b
+// readSlotTable parses the optional liveness-table frame trailing the
+// core checkpoint payload. Any defect — unreadable blocks, a length
+// beyond the slot, a checksum or structural failure — only marks the
+// table rejected (ck.table nil, ck.tableStop set): the core slot stays
+// valid and the mount degrades to the full inode walk.
+func (fs *FS) readSlotTable(ck *ckptImage, base, total uint64, readTo func(uint64) bool, framed *[]byte) {
+	if fs.p.NoLivenessTable {
+		ck.tableStop = "liveness table disabled"
+		return
 	}
+	tlenAt := total + 16
+	if !readTo(tlenAt + 8) {
+		ck.tableStop = "table length unreadable"
+		return
+	}
+	tlen := binary.BigEndian.Uint64((*framed)[tlenAt : tlenAt+8])
+	if tlen == 0 {
+		ck.tableStop = "no table in slot"
+		return
+	}
+	ck.tablePresent = true
+	// The length field itself is covered by no checksum, so bound it
+	// before any arithmetic: a corrupt value near 2^64 would otherwise
+	// wrap the sum below and slice out of range instead of degrading.
+	slotBytes := uint64(fs.slotBlocks() * device.DataBytes)
+	if tlen > slotBytes || tlenAt+8+tlen+8 > slotBytes {
+		ck.tableStop = "table length exceeds slot"
+		return
+	}
+	if !readTo(tlenAt + 8 + tlen + 8) {
+		ck.tableStop = "table torn (unreadable blocks)"
+		return
+	}
+	tbuf := (*framed)[tlenAt+8 : tlenAt+8+tlen]
+	if ckptSum(tbuf) != binary.BigEndian.Uint64((*framed)[tlenAt+8+tlen:]) {
+		ck.tableStop = "table checksum mismatch"
+		return
+	}
+	refs, reason := fs.parseTable(tbuf, ck.imap)
+	if reason != "" {
+		ck.tableStop = "table cross-check failed: " + reason
+		return
+	}
+	ck.table = refs
 }
 
-// loadInodeAt reads and caches an inode from a specific block.
-func (fs *FS) loadInodeAt(ino Ino, pba uint64) (*Inode, error) {
-	data, err := fs.dev.MRS(pba)
+// peekSlotEpoch reads only a slot's first block and returns the
+// (unvalidated) epoch it claims, plus whether the slot holds any data
+// at all. The claim orders the full validations so the common case —
+// the newer slot is intact — costs one slot read, not two; a lying
+// epoch in a torn slot only reorders the fallback, never the outcome.
+func (fs *FS) peekSlotEpoch(base uint64) (epoch uint64, nonEmpty bool) {
+	first, err := fs.dev.MRS(base)
 	if err != nil {
-		return nil, fmt.Errorf("lfs: reading inode %d at %d: %w", ino, pba, err)
+		return 0, false
 	}
-	in, err := UnmarshalInode(data)
-	if err != nil {
-		return nil, err
+	for _, b := range first {
+		if b != 0 {
+			// Bytes 8..12 are the core magic, 12..20 the epoch.
+			return binary.BigEndian.Uint64(first[12:20]), true
+		}
 	}
-	if in.Ino != ino {
-		return nil, fmt.Errorf("%w: imap says %d, block says %d", ErrBadInode, ino, in.Ino)
+	return 0, false
+}
+
+// loadBestCheckpoint returns the valid checkpoint slot with the
+// highest epoch, validating the slot that claims the newer epoch first
+// and touching the other only when the first fails — so a healthy
+// mount pays for one slot, not two. A nil image with torn=true means
+// at least one slot holds damaged data and none validates — the
+// double-torn condition Mount must refuse; nil with torn=false means
+// the medium was never checkpointed at all.
+func (fs *FS) loadBestCheckpoint() (ck *ckptImage, torn bool) {
+	bases := []uint64{0, uint64(fs.slotBlocks())}
+	ea, na := fs.peekSlotEpoch(bases[0])
+	eb, nb := fs.peekSlotEpoch(bases[1])
+	if eb > ea {
+		bases[0], bases[1] = bases[1], bases[0]
 	}
-	fs.cacheInode(in)
-	return in, nil
+	for _, base := range bases {
+		if c, st := fs.readSlot(base); st == slotValid {
+			return c, false
+		}
+	}
+	return nil, na || nb
 }

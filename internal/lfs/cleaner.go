@@ -235,7 +235,12 @@ func (fs *FS) cleanLocked(targetFree int) CleanStats {
 
 // pickVictims selects up to k full segments with the best cost-benefit
 // scores: (1−u)·age / (1+u), ties broken by segment id so the choice
-// is deterministic. Pinned segments are counted and skipped.
+// is deterministic. Pinned segments are counted and skipped. Right
+// after a mount every segment carries the same single liveness stamp
+// (replay.go), so ages are uniform and the ranking reduces to
+// utilisation with id tie-breaks — which is why victim choice is
+// identical whether the mount rode the liveness table or the full
+// walk, and for any walk fan-out width.
 func (fs *FS) pickVictims(k int, cs *CleanStats) []*segment {
 	type cand struct {
 		seg   *segment

@@ -237,6 +237,21 @@ func TestCrashConsistencyEveryBoundary(t *testing.T) {
 			t.Fatalf("crash at write %d/%d: mounted state is neither ack %d nor ack %d",
 				k, total, lastAck, lastAck+1)
 		}
+		// Sampled equivalence sweep: whatever the crash tore, the
+		// table-driven mount and the full-walk fallback must recover
+		// byte-identical state from the same crash image.
+		if k%7 == 0 {
+			pw := p
+			pw.NoLivenessTable = true
+			walked, werr := Mount(rec.deviceAt(t, devBlocks, k), pw)
+			if werr != nil {
+				t.Fatalf("crash at write %d/%d: walk mount failed: %v", k, total, werr)
+			}
+			if ft, fw := mountFingerprint(mounted), mountFingerprint(walked); ft != fw {
+				t.Fatalf("crash at write %d/%d: table mount diverges from walk mount (table used: %v, fallback %q)",
+					k, total, mounted.MountReport().TableMount, mounted.MountReport().Fallback)
+			}
+		}
 	}
 }
 

@@ -59,6 +59,14 @@ type Params struct {
 	// runs while the appending thread holds the lock.
 	ReserveSegments int
 
+	// NoLivenessTable disables the checkpointed liveness table: a
+	// checkpoint then carries only imap+directory (the pre-table
+	// format) and Mount always rebuilds liveness with the full inode
+	// walk. It exists as the ablation baseline for the mount-scale
+	// experiments and benchmarks; production configurations should
+	// leave it false.
+	NoLivenessTable bool
+
 	// CleanWatermark enables background incremental cleaning: when the
 	// free pool dips to this many segments or fewer at an allocation,
 	// a background goroutine is kicked to run phased cleaning passes
@@ -205,8 +213,37 @@ type FS struct {
 	// jtrace records what a Mount's roll-forward pass saw (nil on a
 	// freshly formatted FS); CheckJournal reports from it.
 	jtrace *replayTrace
+	// mstats records how the last Mount rebuilt liveness (table-driven
+	// or full walk), for diagnostics, experiments and tests.
+	mstats MountStats
 
 	stats Stats
+}
+
+// MountStats describes how a Mount rebuilt segment liveness.
+type MountStats struct {
+	// TableMount reports that liveness came from the checkpointed
+	// liveness table (plus the replayed tail), not from a full walk.
+	TableMount bool
+	// Fallback names why the table was not used ("" when it was):
+	// absent, torn, failing its cross-check, or disabled.
+	Fallback string
+	// TableRefs counts liveness-table entries adopted.
+	TableRefs int
+	// InodesRead counts inode blocks the mount read from the medium:
+	// the whole namespace for a full walk, only the replay-touched
+	// inos for a table mount.
+	InodesRead int
+	// Workers is the fan-out width the inode reads ran at.
+	Workers int
+}
+
+// MountReport returns how the last Mount rebuilt liveness. The zero
+// value is returned for a freshly formatted (never mounted) FS.
+func (fs *FS) MountReport() MountStats {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.mstats
 }
 
 // Stats counts file-system activity for the experiments.

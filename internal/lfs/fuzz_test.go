@@ -270,5 +270,32 @@ func FuzzReplay(f *testing.F) {
 			t.Fatalf("crash at write %d/%d: mounted state is neither ack %d nor ack %d",
 				k, total, lastAck, lastAck+1)
 		}
+		// The full-walk fallback must recover byte-identical state from
+		// the same crash image.
+		pw := p
+		pw.NoLivenessTable = true
+		walked, werr := Mount(crashed, pw)
+		if werr != nil {
+			t.Fatalf("crash at write %d/%d: walk mount failed: %v", k, total, werr)
+		}
+		walkFP := mountFingerprint(walked)
+		if mountFingerprint(mounted) != walkFP {
+			t.Fatalf("crash at write %d/%d: table mount diverges from walk mount", k, total)
+		}
+		// Mutate the checkpointed liveness table (fuzz-chosen byte):
+		// corruption must always degrade the mount to the walk — the
+		// table's own checksum rejects it — never corrupt liveness.
+		if corruptTableByte(t, crashed, p, uint64(crash)*31+uint64(len(ops))) {
+			remounted, rerr := Mount(crashed, p)
+			if rerr != nil {
+				t.Fatalf("crash at write %d/%d: mount errored on mutated table: %v", k, total, rerr)
+			}
+			if remounted.MountReport().TableMount {
+				t.Fatalf("crash at write %d/%d: mutated table was still adopted", k, total)
+			}
+			if mountFingerprint(remounted) != walkFP {
+				t.Fatalf("crash at write %d/%d: mutated-table mount corrupted liveness", k, total)
+			}
+		}
 	})
 }

@@ -3,6 +3,7 @@ package lfs
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"sero/internal/device"
@@ -14,10 +15,26 @@ import (
 // the previous one, and the first torn, stale or malformed record ends
 // the chain *cleanly* — recovery surfaces the last consistent state,
 // never an error, because a torn tail is the expected shape of a
-// crash. Replay only rewrites the in-memory maps (imap, directory,
-// next-ino); the final inode walk then rebuilds liveness exactly as a
-// checkpoint-only mount would, so a replayed mount is state-identical
-// to a checkpoint mount of the same history.
+// crash. Replay rewrites the in-memory maps (imap, directory,
+// next-ino) and records which inos the tail touched; liveness is then
+// rebuilt one of two ways:
+//
+//   - table-driven (the fast path): the slot's liveness table already
+//     names every live block and its owner as of the checkpoint, so
+//     only the inos the replayed tail touched need their inodes
+//     re-read — mount cost is O(segments + replayed tail), independent
+//     of the namespace size;
+//   - full walk (the fallback): when the table is absent, torn or
+//     fails its cross-check, every inode in the imap is read back, the
+//     pre-table behaviour. The walk fans out over Params.Concurrency
+//     worker planes (ino-sorted static split, slowest-worker virtual
+//     time — the Audit contract).
+//
+// Either way all liveness is stamped with one timestamp taken after
+// the reads, so mount-time segment ages — and with them the cleaner's
+// future victim choices — depend on neither map iteration order nor
+// the worker count, and a table mount is state-identical to a
+// walk mount of the same image.
 
 // replayTrace records what the roll-forward pass saw, for diagnostics
 // and serofsck.
@@ -34,6 +51,16 @@ type replayTrace struct {
 	// latest holds the newest data back-pointer per (ino, idx) seen in
 	// the applied records, for the fsck imap cross-check.
 	latest map[blockKey]uint64
+	// touched marks inos whose liveness the replayed tail may have
+	// changed (imap deltas and data back-pointers): a table-driven
+	// mount discards their table entries and re-reads their inodes.
+	touched map[Ino]bool
+	// table carries the checkpoint slot's parsed liveness table into
+	// the liveness rebuild (nil when absent or rejected), with
+	// tablePresent/tableStop describing why for diagnostics.
+	table        []liveRef
+	tablePresent bool
+	tableStop    string
 }
 
 type blockKey struct {
@@ -44,11 +71,13 @@ type blockKey struct {
 // Mount reconstructs a file system from a device previously formatted
 // and synced by this package: it loads the newest valid checkpoint
 // slot, rolls forward through the summary chain, and rebuilds all
-// in-memory state (live maps, segment states, pins) from the resulting
-// metadata graph, the inodes it references, and the device's
-// heated-line registry. The journal chain is adopted as-is, so the
-// mounted FS keeps appending summary records where the previous
-// incarnation stopped.
+// in-memory state (live maps, segment states, pins) from the slot's
+// liveness table — falling back to a fanned-out walk of the inodes the
+// imap references — plus the device's heated-line registry. The
+// journal chain is adopted as-is, so the mounted FS keeps appending
+// summary records where the previous incarnation stopped. A medium
+// whose checkpoint slots are both damaged refuses to mount
+// (ErrTornCheckpoint) rather than coming up empty.
 func Mount(dev *device.Device, p Params) (*FS, error) {
 	fs, err := New(dev, p)
 	if err != nil {
@@ -57,37 +86,8 @@ func Mount(dev *device.Device, p Params) (*FS, error) {
 	if err := fs.loadAndReplay(); err != nil {
 		return nil, err
 	}
-
-	// Rebuild liveness and segment state by walking the inodes in ino
-	// order. The inode reads advance the device clock, so the walk
-	// loads everything first and then stamps all liveness with one
-	// timestamp: mount-time segment ages — and with them the cleaner's
-	// future victim choices — must not depend on map iteration order.
-	inos := make([]Ino, 0, len(fs.imap))
-	for ino := range fs.imap {
-		inos = append(inos, ino)
-	}
-	sortInos(inos)
-	for _, ino := range inos {
-		if _, ierr := fs.loadInodeAt(ino, fs.imap[ino]); ierr != nil {
-			return nil, ierr
-		}
-	}
-	now := fs.now()
-	for _, ino := range inos {
-		ipba := fs.imap[ino]
-		in, _ := fs.cachedInode(ino)
-		if !in.Heated() {
-			fs.sm.markLive(ipba, now)
-			fs.owners[ipba] = blockRef{ino: ino, idx: -1}
-			for idx, pba := range in.Blocks {
-				if pba == 0 {
-					continue // hole sentinel, not a data block
-				}
-				fs.sm.markLive(pba, now)
-				fs.owners[pba] = blockRef{ino: ino, idx: idx}
-			}
-		}
+	if err := fs.rebuildLiveness(); err != nil {
+		return nil, err
 	}
 	// Pin segments containing heated lines, per the device registry.
 	for _, li := range dev.Lines() {
@@ -111,13 +111,147 @@ func Mount(dev *device.Device, p Params) (*FS, error) {
 	return fs, nil
 }
 
+// rebuildLiveness reconstructs the live map, owner map and per-segment
+// usage from the checkpointed liveness table when one was adopted, and
+// from the full inode walk otherwise. All liveness is stamped with a
+// single timestamp taken after every device read, so the resulting
+// state is identical for any fan-out width and any map iteration
+// order.
+func (fs *FS) rebuildLiveness() error {
+	t := fs.jtrace
+	fs.mstats = MountStats{Workers: fs.p.Concurrency}
+	if t.table == nil {
+		fs.mstats.Fallback = t.tableStop
+		return fs.walkLiveness()
+	}
+	// Table-driven: entries of inos the replayed tail touched are
+	// stale — those inos' inodes are re-read from the medium (the
+	// O(replayed tail) part); everything else is adopted as written.
+	keep := make([]liveRef, 0, len(t.table))
+	for _, r := range t.table {
+		if !t.touched[r.ino] {
+			keep = append(keep, r)
+		}
+	}
+	inos := make([]Ino, 0, len(t.touched))
+	for ino := range t.touched {
+		if _, ok := fs.imap[ino]; ok {
+			inos = append(inos, ino)
+		}
+	}
+	sortInos(inos)
+	if err := fs.loadInodesFanned(inos); err != nil {
+		return err
+	}
+	now := fs.now()
+	for _, r := range keep {
+		fs.sm.markLive(r.pba, now)
+		fs.owners[r.pba] = blockRef{ino: r.ino, idx: int(r.idx)}
+	}
+	fs.markInodesLive(inos, now)
+	fs.mstats.TableMount = true
+	fs.mstats.TableRefs = len(keep)
+	fs.mstats.InodesRead = len(inos)
+	return nil
+}
+
+// walkLiveness is the fallback liveness rebuild: read every inode the
+// imap references (fanned over Params.Concurrency worker planes, in
+// ino-sorted order) and mark every block they own live under one
+// timestamp.
+func (fs *FS) walkLiveness() error {
+	inos := make([]Ino, 0, len(fs.imap))
+	for ino := range fs.imap {
+		inos = append(inos, ino)
+	}
+	sortInos(inos)
+	if err := fs.loadInodesFanned(inos); err != nil {
+		return err
+	}
+	fs.markInodesLive(inos, fs.now())
+	fs.mstats.InodesRead = len(inos)
+	return nil
+}
+
+// loadInodesFanned reads and caches the inodes of the given inos
+// (which must be imap-resident and ino-sorted), fanning the block
+// reads out over Params.Concurrency device worker planes. The reads
+// are issued in block-address order — each worker's contiguous share
+// then covers one run of the log, keeping its seeks local — and the
+// split is fixed by the sorted input, so virtual time is
+// deterministic. Failures are surfaced for the lowest failing ino,
+// exactly as the serial walk did.
+func (fs *FS) loadInodesFanned(inos []Ino) error {
+	if len(inos) == 0 {
+		return nil
+	}
+	order := make([]int, len(inos))
+	pbas := make([]uint64, len(inos))
+	for i := range inos {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return fs.imap[inos[order[a]]] < fs.imap[inos[order[b]]] })
+	for i, oi := range order {
+		pbas[i] = fs.imap[inos[oi]]
+	}
+	bufs, errs := fs.dev.ReadBlocksFanned(pbas, fs.p.Concurrency)
+	byIno := make(map[Ino]int, len(inos)) // ino -> index into bufs/errs
+	for i, oi := range order {
+		byIno[inos[oi]] = i
+	}
+	for _, ino := range inos {
+		i := byIno[ino]
+		if errs[i] != nil {
+			return fmt.Errorf("lfs: reading inode %d at %d: %w", ino, pbas[i], errs[i])
+		}
+		in, err := UnmarshalInode(bufs[i])
+		if err != nil {
+			return err
+		}
+		if in.Ino != ino {
+			return fmt.Errorf("%w: imap says %d, block says %d", ErrBadInode, ino, in.Ino)
+		}
+		fs.cacheInode(in)
+	}
+	return nil
+}
+
+// markInodesLive marks the inode block and every data block of each
+// given ino live under the single timestamp now, from the cached
+// inodes. Heated inos are skipped: their blocks are covered by line
+// pins, not the live map.
+func (fs *FS) markInodesLive(inos []Ino, now time.Duration) {
+	for _, ino := range inos {
+		ipba := fs.imap[ino]
+		in, _ := fs.cachedInode(ino)
+		if in.Heated() {
+			continue
+		}
+		fs.sm.markLive(ipba, now)
+		fs.owners[ipba] = blockRef{ino: ino, idx: -1}
+		for idx, pba := range in.Blocks {
+			if pba == 0 {
+				continue // hole sentinel, not a data block
+			}
+			fs.sm.markLive(pba, now)
+			fs.owners[pba] = blockRef{ino: ino, idx: idx}
+		}
+	}
+}
+
 // loadAndReplay loads the newest valid checkpoint slot into the
 // in-memory maps and rolls the summary chain forward. Shared by Mount
 // (which then rebuilds liveness, strictly) and CheckJournal (which
-// then cross-checks, tolerantly).
+// then cross-checks, tolerantly). A region where both slots hold
+// damaged data is refused as ErrTornCheckpoint — mounting it as a
+// pristine empty FS would silently discard the namespace.
 func (fs *FS) loadAndReplay() error {
-	ck := fs.loadBestCheckpoint()
+	ck, torn := fs.loadBestCheckpoint()
 	if ck == nil {
+		if torn {
+			return fmt.Errorf("%w (checkpoint region damaged, refusing to mount as empty)",
+				ErrTornCheckpoint)
+		}
 		return fmt.Errorf("%w: no valid checkpoint slot", ErrBadCheckpoint)
 	}
 	fs.next = ck.next
@@ -145,10 +279,14 @@ func (fs *FS) loadAndReplay() error {
 // reallocation.
 func (fs *FS) replayChain(ck *ckptImage) *replayTrace {
 	t := &replayTrace{
-		epoch:     ck.epoch,
-		writtenAt: time.Duration(ck.writtenAt),
-		jstart:    ck.jstart,
-		latest:    make(map[blockKey]uint64),
+		epoch:        ck.epoch,
+		writtenAt:    time.Duration(ck.writtenAt),
+		jstart:       ck.jstart,
+		latest:       make(map[blockKey]uint64),
+		touched:      make(map[Ino]bool),
+		table:        ck.table,
+		tablePresent: ck.tablePresent,
+		tableStop:    ck.tableStop,
 	}
 	fs.jepoch = ck.epoch
 	fs.jseq = 1
@@ -260,7 +398,10 @@ func (fs *FS) replayChain(ck *ckptImage) *replayTrace {
 	return t
 }
 
-// applyDelta folds one summary record into the in-memory maps.
+// applyDelta folds one summary record into the in-memory maps, marking
+// every ino whose liveness it may have changed as replay-touched — the
+// increments that keep the checkpointed liveness table current across
+// the journal tail.
 func (fs *FS) applyDelta(d summaryDelta, t *replayTrace) {
 	if d.next > fs.next {
 		fs.next = d.next
@@ -280,6 +421,7 @@ func (fs *FS) applyDelta(d summaryDelta, t *replayTrace) {
 		}
 	}
 	for _, e := range d.imap {
+		t.touched[e.ino] = true
 		if e.remove {
 			delete(fs.imap, e.ino)
 		} else {
@@ -287,6 +429,7 @@ func (fs *FS) applyDelta(d summaryDelta, t *replayTrace) {
 		}
 	}
 	for _, bp := range d.blocks {
+		t.touched[bp.ino] = true
 		t.latest[blockKey{ino: bp.ino, idx: bp.idx}] = bp.pba
 	}
 	// Data back-pointers plus inode rewrites approximate the appends
@@ -318,11 +461,27 @@ type JournalReport struct {
 	// journaled data back-pointers that disagree with the final
 	// inodes. Both are 0 on a healthy image.
 	ImapMismatches, BackPtrMismatches int
+	// TablePresent reports that the newest checkpoint slot carries a
+	// liveness table; TableValid that it parsed and cross-checked
+	// against the slot's imap; TableStop describes why it did not.
+	TablePresent, TableValid bool
+	// TableStop is empty for a valid table; otherwise the reason the
+	// table was rejected (a mount then falls back to the full walk).
+	TableStop string
+	// TableRefs counts liveness-table entries.
+	TableRefs int
+	// TableMismatches counts disagreements between the table and the
+	// final inodes of replay-untouched files: blocks the inodes own
+	// that the table misses or misattributes, and table entries no
+	// inode backs. 0 on a healthy image.
+	TableMismatches int
 }
 
-// Healthy reports whether the chain verified clean.
+// Healthy reports whether the chain — and the liveness table, when one
+// is present — verified clean.
 func (r JournalReport) Healthy() bool {
-	return r.ImapMismatches == 0 && r.BackPtrMismatches == 0
+	return r.ImapMismatches == 0 && r.BackPtrMismatches == 0 &&
+		(!r.TablePresent || (r.TableValid && r.TableMismatches == 0))
 }
 
 // Summary renders the report in the serofsck style.
@@ -333,16 +492,28 @@ func (r JournalReport) Summary() string {
 	s += fmt.Sprintf("  replayed state: %d files, %d directory entries\n", r.Files, r.DirEntries)
 	s += fmt.Sprintf("  back-pointer agreement: %d imap mismatches, %d block mismatches\n",
 		r.ImapMismatches, r.BackPtrMismatches)
+	switch {
+	case !r.TablePresent:
+		s += fmt.Sprintf("  liveness table: absent (%s)\n", r.TableStop)
+	case !r.TableValid:
+		s += fmt.Sprintf("  liveness table: REJECTED (%s) — mounts fall back to the full walk\n", r.TableStop)
+	default:
+		s += fmt.Sprintf("  liveness table: %d entries, %d disagreements with the inodes\n",
+			r.TableRefs, r.TableMismatches)
+	}
 	return s
 }
 
 // CheckJournal verifies the summary chain the way a recovery fsck
 // would: load the newest checkpoint, roll the chain forward (sequence
 // continuity and chained checksums), then cross-check the replayed
-// imap against the medium and the journaled back-pointers against the
-// final inodes. Unlike Mount it is tolerant: a broken imap entry is
-// counted and reported, not a fatal error — serofsck's job is to
-// describe the damage.
+// imap against the medium, the journaled back-pointers against the
+// final inodes, and the checkpointed liveness table against the blocks
+// those inodes actually own. Unlike Mount it is tolerant: a broken
+// imap entry or a stale table entry is counted and reported, not a
+// fatal error — serofsck's job is to describe the damage. The
+// double-torn checkpoint region is the exception: with no consistent
+// state to describe, CheckJournal surfaces ErrTornCheckpoint.
 func CheckJournal(dev *device.Device, p Params) (JournalReport, error) {
 	fs, err := New(dev, p)
 	if err != nil {
@@ -362,6 +533,10 @@ func CheckJournal(dev *device.Device, p Params) (JournalReport, error) {
 		Stop:          t.stop,
 		Files:         len(fs.imap),
 		DirEntries:    len(fs.dir),
+		TablePresent:  t.tablePresent,
+		TableValid:    t.table != nil,
+		TableStop:     t.tableStop,
+		TableRefs:     len(t.table),
 	}
 	inodes := make(map[Ino]*Inode, len(fs.imap))
 	for ino, pba := range fs.imap {
@@ -386,5 +561,51 @@ func CheckJournal(dev *device.Device, p Params) (JournalReport, error) {
 			r.BackPtrMismatches++
 		}
 	}
+	if t.table != nil {
+		r.TableMismatches = crossCheckTable(fs, t, inodes)
+	}
 	return r, nil
+}
+
+// crossCheckTable compares the checkpointed liveness table with the
+// blocks the final inodes own, for every ino the replayed tail did not
+// touch (touched inos' entries are discarded by a table mount, so
+// their staleness is by design, not damage). Returns the disagreement
+// count: blocks an inode owns that the table misses or misattributes,
+// plus table entries no inode backs.
+func crossCheckTable(fs *FS, t *replayTrace, inodes map[Ino]*Inode) int {
+	want := make(map[uint64]blockRef)
+	for ino, in := range inodes {
+		if t.touched[ino] || in.Heated() {
+			continue
+		}
+		want[fs.imap[ino]] = blockRef{ino: ino, idx: -1}
+		for idx, pba := range in.Blocks {
+			if pba != 0 {
+				want[pba] = blockRef{ino: ino, idx: idx}
+			}
+		}
+	}
+	mismatches := 0
+	got := make(map[uint64]blockRef, len(t.table))
+	for _, ref := range t.table {
+		if t.touched[ref.ino] {
+			continue
+		}
+		if _, ok := inodes[ref.ino]; !ok {
+			continue // unreadable inode: already an ImapMismatch
+		}
+		got[ref.pba] = blockRef{ino: ref.ino, idx: int(ref.idx)}
+	}
+	for pba, ref := range want {
+		if g, ok := got[pba]; !ok || g != ref {
+			mismatches++
+		}
+	}
+	for pba := range got {
+		if _, ok := want[pba]; !ok {
+			mismatches++
+		}
+	}
+	return mismatches
 }

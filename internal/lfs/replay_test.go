@@ -596,3 +596,76 @@ func benchmarkMountReplay(b *testing.B, tail int) {
 
 func BenchmarkMountReplayShort(b *testing.B) { benchmarkMountReplay(b, 4) }
 func BenchmarkMountReplayLong(b *testing.B)  { benchmarkMountReplay(b, 64) }
+
+// benchmarkMountNamespace measures the two mount regimes — the
+// table-driven rebuild and the full-walk fallback — over an image with
+// the given namespace width and journal-tail length: the liveness
+// table makes mount cost O(segments + replayed tail) where the walk
+// pays O(inodes).
+func benchmarkMountNamespace(b *testing.B, files, tail int) {
+	p := Params{
+		SegmentBlocks:    64,
+		CheckpointBlocks: 128,
+		WritebackBlocks:  64,
+		CheckpointEvery:  1 << 20,
+		HeatAware:        true,
+		ReserveSegments:  2,
+	}
+	for i := 0; i < b.N; i++ {
+		fs := testFS(b, 8192, p)
+		inos := make([]Ino, files)
+		for j := range inos {
+			var err error
+			if inos[j], err = fs.Create(fmt.Sprintf("f%04d", j), 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.WriteFile(inos[j], payload(byte(j), device.DataBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		for n := 0; n < tail; n++ {
+			if err := fs.WriteFile(inos[n%files], payload(byte(n), device.DataBytes)); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dev := fs.Device()
+		t0 := dev.Clock().Now()
+		tab, err := Mount(dev, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tableCost := dev.Clock().Now() - t0
+		if !tab.MountReport().TableMount {
+			b.Fatalf("mount fell back: %q", tab.MountReport().Fallback)
+		}
+		pw := p
+		pw.NoLivenessTable = true
+		t1 := dev.Clock().Now()
+		walk, err := Mount(dev, pw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		walkCost := dev.Clock().Now() - t1
+		b.ReportMetric(float64(tableCost.Microseconds()), "virt-µs/table-mount")
+		b.ReportMetric(float64(walkCost.Microseconds()), "virt-µs/walk-mount")
+		b.ReportMetric(float64(walkCost)/float64(tableCost), "speedup")
+		b.ReportMetric(float64(walk.MountReport().InodesRead), "inodes-walked")
+	}
+}
+
+// BenchmarkMountReplayWide is the large-namespace regime: many files,
+// short tail — the walk's worst case and the table's best.
+func BenchmarkMountReplayWide(b *testing.B) { benchmarkMountNamespace(b, 480, 4) }
+
+// BenchmarkMountReplayDeep is the long-tail regime: few files, a long
+// journal tail — replay dominates and both mounts converge.
+func BenchmarkMountReplayDeep(b *testing.B) { benchmarkMountNamespace(b, 12, 96) }

@@ -104,7 +104,10 @@ type segmentManager struct {
 	segs      []*segment
 	segBlocks int
 	base      uint64 // PBA of segment 0
-	// byBlock maps a PBA to its segment id.
+	// liveMap marks the PBAs currently holding live data. Together
+	// with fs.owners it is the source the checkpointed liveness table
+	// serializes (checkpoint.go) and the state a table-driven mount
+	// reconstructs without walking the inodes.
 	liveMap map[uint64]bool
 }
 

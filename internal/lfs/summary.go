@@ -39,6 +39,16 @@ import (
 // Segments holding chain blocks are flagged (segment.journal) and
 // refused by the cleaner until the next checkpoint obsoletes the
 // chain and clears every flag.
+//
+// The deltas play a second role since the checkpointed liveness table
+// (checkpoint.go): a record's imap updates and data back-pointers mark
+// exactly the inos whose liveness moved after the checkpoint, so a
+// table-driven mount adopts the table for every untouched ino and
+// re-reads only the touched ones — the deltas are the table's
+// increments. Every path that moves liveness (flush, delete, heat,
+// cleaner relocation) must therefore journal the affected ino before
+// the next covering point, an invariant serofsck's table cross-check
+// verifies.
 
 const (
 	summaryMagic = "SJRN"

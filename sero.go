@@ -73,9 +73,27 @@
 // journaled. Mounting loads the newest valid checkpoint slot and rolls
 // the summary chain forward, stopping cleanly at the first torn or
 // invalid record: every acked Sync survives any later crash point, and
-// no unacked write resurrects. CheckFSJournal verifies the chain
-// (sequence continuity, checksums, back-pointer agreement with the
-// imap) the way cmd/serofsck reports it.
+// no unacked write resurrects. A mount that finds both checkpoint
+// slots damaged refuses with an error instead of presenting an empty
+// file system. CheckFSJournal verifies the chain (sequence continuity,
+// checksums, back-pointer agreement with the imap) the way
+// cmd/serofsck reports it.
+//
+// Mount cost is bounded by a per-segment liveness table each
+// checkpoint slot carries (under its own checksum, so table damage
+// degrades the mount, never the checkpoint): the table names every
+// live block and its owning inode as of the checkpoint, and the
+// summary-chain deltas keep it current across the journal tail, so a
+// mount rebuilds the segment table and owner map in O(segments +
+// replayed tail) — independent of how many files exist — re-reading
+// only the inodes the tail touched. When the table is absent, torn or
+// fails its cross-check, the mount falls back to the full inode walk,
+// fanned out over FSOptions.Concurrency worker planes (ino-sorted
+// static split, slowest-worker virtual time) with every segment age
+// stamped from one post-read timestamp, so the recovered state — and
+// the cleaner's future victim choices — is byte-identical for either
+// rebuild path and any worker count. FS.MountReport says which path a
+// mount took; serosim e17-mount-scale measures the contrast.
 //
 // # Cleaning: incremental, backgroundable, off the foreground lock
 //
@@ -332,6 +350,13 @@ type FSOptions struct {
 	// virtual time. 0 defaults to the device's configured width;
 	// negative values clamp to serial.
 	Concurrency int
+	// NoLivenessTable disables the checkpointed liveness table, making
+	// every mount rebuild segment liveness with the full inode walk —
+	// the pre-table behaviour, kept as the ablation baseline for the
+	// mount-scale experiments (serosim e17-mount-scale). Leave it false
+	// for production use: with the table, mount cost is O(segments +
+	// replayed tail) instead of O(namespace).
+	NoLivenessTable bool
 	// CleanWatermark moves cleaning off the foreground lock: when the
 	// free pool dips to this many segments, a background goroutine
 	// runs incremental plan/copy/commit passes — the expensive copy
@@ -363,6 +388,7 @@ func fsParams(d *Device, o FSOptions) lfs.Params {
 		p.Concurrency = d.Concurrency()
 	}
 	p.CleanWatermark = o.CleanWatermark
+	p.NoLivenessTable = o.NoLivenessTable
 	return p
 }
 
@@ -374,10 +400,33 @@ func NewFS(d *Device, o FSOptions) (*FS, error) {
 // MountFS reopens a file system previously created by NewFS on the
 // same device: it loads the newest valid checkpoint slot and rolls
 // forward through the summary chain, recovering every acked Sync and
-// stopping cleanly at the first torn record.
+// stopping cleanly at the first torn record. Segment liveness comes
+// from the slot's checkpointed liveness table when one is present and
+// intact — mount cost O(segments + replayed tail) — and from a full
+// inode walk fanned over FSOptions.Concurrency worker planes
+// otherwise; FS.MountReport tells which. A device whose checkpoint
+// slots are both damaged refuses to mount (lfs.ErrTornCheckpoint)
+// rather than silently coming up as an empty file system.
 func MountFS(d *Device, o FSOptions) (*FS, error) {
 	return lfs.Mount(d.st.Device(), fsParams(d, o))
 }
+
+// FSMountStats re-exports the per-mount liveness-rebuild report (see
+// FS.MountReport): whether the checkpointed liveness table was used,
+// why it was not, and how many inodes the mount had to read.
+type FSMountStats = lfs.MountStats
+
+// Mount error sentinels, for errors.Is against MountFS failures.
+var (
+	// ErrBadCheckpoint reports that no valid checkpoint slot exists —
+	// the device was never formatted and synced by NewFS.
+	ErrBadCheckpoint = lfs.ErrBadCheckpoint
+	// ErrTornCheckpoint reports that both checkpoint slots hold data
+	// but neither validates: the medium was demonstrably formatted, so
+	// MountFS refuses to present it as an empty file system. It wraps
+	// ErrBadCheckpoint.
+	ErrTornCheckpoint = lfs.ErrTornCheckpoint
+)
 
 // FSJournalReport re-exports the summary-chain verification outcome.
 type FSJournalReport = lfs.JournalReport
