@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz docs ci
+.PHONY: all build vet test race bench bench-serve benchcheck fuzz docs ci
 
 all: build
 
@@ -30,6 +30,20 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFSAppend|BenchmarkClean|BenchmarkSync|BenchmarkMountReplay|BenchmarkAppendDuringClean' -benchtime 1x ./internal/lfs
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
 
+# The serving-tier macro-benchmark: replays the zipfian read-mostly mix
+# from 1, 4 and 16 concurrent sessions over a 100k-file namespace and
+# records the trajectory (per-op virtual-time latency percentiles,
+# throughput, full reproduction config) to BENCH_serving.json. Takes
+# minutes of wall clock — run it when the write/read path changes, then
+# commit the refreshed JSON; `make ci` only re-checks the committed
+# file's schema.
+bench-serve:
+	$(GO) run ./cmd/serocli bench-serve -out BENCH_serving.json
+
+# Schema gate over the committed trajectory files.
+benchcheck:
+	$(GO) run ./tools/benchcheck BENCH_serving.json
+
 # Short fuzz passes over the image loader (the §5.2 trust boundary),
 # the file-system op stream (checkpoint/acked-data durability), and
 # the roll-forward recovery path (random ops + random crash points;
@@ -47,7 +61,7 @@ docs:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./tools/doccheck . ./internal/lfs
+	$(GO) run ./tools/doccheck . ./internal/lfs ./internal/serve
 
 # docs already runs vet, so ci doesn't list it twice.
-ci: build test race docs
+ci: build test race docs benchcheck

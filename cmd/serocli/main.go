@@ -6,6 +6,7 @@
 // Usage:
 //
 //	serocli [-blocks N] [-j workers] [-writeback N] [-ckpt-every N] [-clean-watermark N]
+//	serocli bench-serve [-files N] [-ops N] [-sessions LIST] [-out FILE] [...]
 //
 // Flags (all validated, nonsensical values are rejected rather than
 // silently clamped):
@@ -22,11 +23,32 @@
 //	                   cleaner goroutine; must be 0 (foreground-only
 //	                   cleaning, the default) or positive
 //
+// The bench-serve subcommand records the serving-tier macro-benchmark:
+// for each session count in -sessions it replays the zipfian read-mostly
+// mix (internal/workload.Mix) over a -files-wide namespace from that
+// many concurrent sessions against one FS, and writes the measured
+// trajectory — per-op virtual-time latency percentiles, sustained
+// throughput, and the full reproduction config — as a versioned JSON
+// report (internal/serve.SchemaV1) to -out. Its own flags:
+//
+//	-files N      total namespace width (default 100000)
+//	-ops N        total mix-op budget, population on top (default 32768)
+//	-sessions L   comma-separated session counts (default "1,4,16")
+//	-file-blocks N, -zipf F, -sync-every N, -burst-every N, -burst-len N
+//	              workload shape (defaults: the DefaultMix blend)
+//	-seed N       RNG seed deriving every session stream (default 42)
+//	-writeback N, -ckpt-every N, -clean-watermark N, -j N
+//	              FS knobs as for the tour (bench defaults:
+//	              ckpt-every 65536)
+//	-out FILE     report path (default BENCH_serving.json)
+//
 // Example invocations:
 //
 //	serocli                                  # defaults, serial
 //	serocli -blocks 4096 -j 4 -writeback 16  # batched writes, fanned-out audit
 //	serocli -j 4 -clean-watermark 8          # cleaning off the foreground lock
+//	serocli bench-serve                      # the committed BENCH_serving.json (~10 min)
+//	serocli bench-serve -files 2048 -ops 4096 -sessions 1,2,4 -out /tmp/b.json
 package main
 
 import (
@@ -34,12 +56,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"sero"
 	"sero/internal/device"
+	"sero/internal/serve"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench-serve" {
+		if err := benchServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "serocli: bench-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	blocks := flag.Int("blocks", 2048, "device size in 512-byte blocks")
 	workers := flag.Int("j", 1, "audit and cleaner concurrency (worker count; 1 = serial)")
 	writeback := flag.Int("writeback", 0, "group-commit granularity in blocks (1 = block-at-a-time, 0 = whole segments)")
@@ -139,5 +171,106 @@ func run(blocks, workers, writeback, ckptEvery, cleanWM int) error {
 		fst.Syncs, fst.JournalRecords, fst.Checkpoints, ckptEvery)
 	fmt.Printf("cleaner: %d passes (%d background), %d blocks copied, %d stale moves dropped (clean-watermark=%d)\n",
 		fst.CleanerPasses, fst.CleanerBgRuns, fst.CleanerCopied, fst.CleanerStaleMoves, cleanWM)
+	return nil
+}
+
+// parseSessions parses the -sessions "1,4,16" list.
+func parseSessions(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-sessions entry %q: want a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sessions list is empty")
+	}
+	return out, nil
+}
+
+// benchServe runs the serving-tier macro-benchmark and records the
+// trajectory report.
+func benchServe(args []string) error {
+	fl := flag.NewFlagSet("bench-serve", flag.ExitOnError)
+	files := fl.Int("files", 100000, "total namespace width (files), partitioned over sessions")
+	ops := fl.Int("ops", 32768, "total mix-op budget (population phase on top)")
+	sessionsList := fl.String("sessions", "1,4,16", "comma-separated session counts to sweep")
+	fileBlocks := fl.Int("file-blocks", 0, "per-file size cap in blocks (0 = DefaultMix)")
+	zipf := fl.Float64("zipf", -1, "file-popularity skew theta in [0,1) (-1 = DefaultMix)")
+	syncEvery := fl.Int("sync-every", 0, "ops per sync (0 = DefaultMix)")
+	burstEvery := fl.Int("burst-every", 0, "ops between append bursts (0 = DefaultMix)")
+	burstLen := fl.Int("burst-len", 0, "appends per burst (0 = DefaultMix)")
+	seed := fl.Uint64("seed", 42, "RNG seed deriving every session stream")
+	writeback := fl.Int("writeback", 0, "group-commit granularity in blocks (0 = whole segments)")
+	ckptEvery := fl.Int("ckpt-every", 1<<16, "checkpoint interval in appended blocks")
+	cleanWM := fl.Int("clean-watermark", 0, "background-cleaner threshold (0 = foreground-only)")
+	workers := fl.Int("j", 1, "FS cleaner/audit concurrency")
+	out := fl.String("out", "BENCH_serving.json", "report output path")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
+	counts, err := parseSessions(*sessionsList)
+	if err != nil {
+		return err
+	}
+	if *seed == 0 {
+		return fmt.Errorf("-seed must be nonzero (the report schema treats 0 as missing)")
+	}
+
+	var runs []serve.Result
+	for _, n := range counts {
+		cfg := serve.DefaultConfig(n, *files, *ops)
+		cfg.Seed = *seed
+		if *fileBlocks > 0 {
+			cfg.FileBlocks = *fileBlocks
+		}
+		if *zipf >= 0 {
+			cfg.ZipfTheta = *zipf
+		}
+		if *syncEvery > 0 {
+			cfg.SyncEvery = *syncEvery
+		}
+		if *burstEvery > 0 {
+			cfg.BurstEvery = *burstEvery
+		}
+		if *burstLen > 0 {
+			cfg.BurstLen = *burstLen
+		}
+		cfg.WritebackBlocks = *writeback
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.CleanWatermark = *cleanWM
+		cfg.Concurrency = *workers
+		fmt.Printf("bench-serve: sessions=%d files=%d ops=%d ...\n", n, *files, *ops)
+		res, err := serve.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("sessions=%d: %w", n, err)
+		}
+		runs = append(runs, res)
+		rd, sy := res.PerOp["read"], res.PerOp["sync"]
+		fmt.Printf("bench-serve: sessions=%d: %d ops, %.1f kops/vsec, read p50/p99 %d/%d ns, sync p99 %d ns\n",
+			n, res.TotalOps, res.ThroughputOpsPerSec/1000, rd.P50NS, rd.P99NS, sy.P99NS)
+	}
+
+	rep := serve.NewReport(runs)
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("refusing to record an invalid report: %w", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("bench-serve: wrote %s (%d runs, schema %s)\n", *out, len(runs), serve.SchemaV1)
 	return nil
 }

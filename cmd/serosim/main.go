@@ -18,6 +18,8 @@
 //	              sync (default 256)
 //	-watermark N  free-segment threshold for e16-background-clean's
 //	              policy demo; must be positive (default 8)
+//	-sessions N   concurrent-session ceiling for e18-serving's sweep
+//	              (1, 2, 4, … up to N); must be positive (default 4)
 //
 // With no arguments every experiment runs. Experiments:
 //
@@ -48,6 +50,11 @@
 //	              liveness table (O(segments + replayed tail)) against
 //	              the full inode walk (O(files)), serial and fanned
 //	              over -j worker planes
+//	e18-serving   serving tier: the zipfian read-mostly mix replayed
+//	              from 1, 2, 4, … -sessions concurrent sessions over one
+//	              FS, with per-op virtual-time latency percentiles and
+//	              sustained throughput (the in-process rendition of
+//	              `serocli bench-serve`)
 //
 // Example invocations:
 //
@@ -56,6 +63,7 @@
 //	serosim -ckpt-every 64 e15-recovery    # denser checkpoints, shorter replay
 //	serosim -j 4 -watermark 8 e16-background-clean
 //	serosim -j 4 e17-mount-scale           # fanned-walk column at 4 workers
+//	serosim -sessions 8 e18-serving        # sweep sessions 1..8
 package main
 
 import (
@@ -73,6 +81,7 @@ func main() {
 	writeback := flag.Int("writeback", 0, "group-commit granularity for e14-writepath (1 = block-at-a-time, 0 = whole segments)")
 	ckptEvery := flag.Int("ckpt-every", 256, "extra checkpoint interval (appended blocks) swept by e15-recovery")
 	watermark := flag.Int("watermark", 8, "background-cleaner free-segment threshold for e16-background-clean")
+	sessions := flag.Int("sessions", 4, "concurrent-session ceiling for e18-serving's sweep")
 	flag.Parse()
 	// Nonsensical values are rejected, not silently clamped: a typo'd
 	// experiment configuration should fail loudly, not quietly measure
@@ -93,14 +102,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serosim: -watermark must be positive (got %d)\n", *watermark)
 		os.Exit(2)
 	}
-	fsFlags = fsFlagValues{workers: *workers, writeback: *writeback, ckptEvery: *ckptEvery, watermark: *watermark}
+	if *sessions <= 0 {
+		fmt.Fprintf(os.Stderr, "serosim: -sessions must be positive (got %d)\n", *sessions)
+		os.Exit(2)
+	}
+	fsFlags = fsFlagValues{workers: *workers, writeback: *writeback, ckptEvery: *ckptEvery, watermark: *watermark, sessions: *sessions}
 
 	all := []string{
 		"fig2", "fig3", "fig7", "fig8", "fig9",
 		"e1-latency", "e2-gc", "e3-bimodal", "e4-attacks",
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
 		"e14-writepath", "e15-recovery", "e16-background-clean",
-		"e17-mount-scale",
+		"e17-mount-scale", "e18-serving",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -229,13 +242,19 @@ func run(name string, seed uint64) error {
 			return err
 		}
 		fmt.Print(res.Table())
+	case "e18-serving":
+		res, err := experiments.RunE18(fsFlags.sessions, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
 }
 
-// fsFlagValues carries the -j/-writeback/-ckpt-every/-watermark
+// fsFlagValues carries the -j/-writeback/-ckpt-every/-watermark/-sessions
 // settings into run without threading them through every experiment's
 // arguments.
 type fsFlagValues struct {
@@ -243,6 +262,7 @@ type fsFlagValues struct {
 	writeback int
 	ckptEvery int
 	watermark int
+	sessions  int
 }
 
-var fsFlags = fsFlagValues{workers: 4, ckptEvery: 256, watermark: 8}
+var fsFlags = fsFlagValues{workers: 4, ckptEvery: 256, watermark: 8, sessions: 4}

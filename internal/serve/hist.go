@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"math/bits"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket b
+// holds samples whose nanosecond value has bit length b, i.e. the
+// range [2^(b-1), 2^b). Bucket 0 holds exact zeros (common for
+// buffered appends, which do no device I/O before the next sync);
+// bucket 64 catches the full uint64 range.
+const histBuckets = 65
+
+// histogram is a fixed-size log-scaled latency histogram. Recording is
+// O(1) with no allocation, so 10⁶-op serving runs pay nothing per
+// sample — the reason the recorder is a histogram and not a sample
+// vector. Quantiles are answered by rank-walking the buckets with
+// linear interpolation inside the winning bucket; the worst op is
+// tracked exactly.
+type histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sumNS   uint64
+	worstNS uint64
+}
+
+// record adds one latency sample.
+func (h *histogram) record(d time.Duration) {
+	ns := uint64(d)
+	h.buckets[bits.Len64(ns)]++
+	h.count++
+	h.sumNS += ns
+	if ns > h.worstNS {
+		h.worstNS = ns
+	}
+}
+
+// merge folds other into h.
+func (h *histogram) merge(other *histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sumNS += other.sumNS
+	if other.worstNS > h.worstNS {
+		h.worstNS = other.worstNS
+	}
+}
+
+// quantile returns the q-quantile (0 ≤ q ≤ 1) as a duration. The
+// answer is exact to within the winning power-of-two bucket (linear
+// interpolation by rank inside it) and capped at the exact worst
+// sample; an empty histogram answers 0.
+func (h *histogram) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count-1))
+	var seen uint64
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < seen+n {
+			if b == 0 {
+				return 0
+			}
+			lo := uint64(1) << (b - 1)
+			hi := uint64(1)<<b - 1
+			if hi > h.worstNS {
+				hi = h.worstNS
+			}
+			if hi < lo {
+				hi = lo
+			}
+			// Interpolate by rank position inside the bucket.
+			frac := float64(rank-seen) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	return time.Duration(h.worstNS)
+}
+
+// mean returns the arithmetic mean latency, or 0 when empty.
+func (h *histogram) mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS / h.count)
+}
+
+// worst returns the exact maximum sample.
+func (h *histogram) worst() time.Duration { return time.Duration(h.worstNS) }

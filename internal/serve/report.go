@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaV1 is the versioned identifier of the serving-trajectory JSON
+// schema. Bump it (and teach Validate both) if the report shape ever
+// changes incompatibly; a future PR diffing BENCH_*.json files keys on
+// it.
+const SchemaV1 = "sero-serving-bench/v1"
+
+// Report is the BENCH_serving.json trajectory file: one schema tag and
+// one Result per session count. Everything needed to re-run the
+// identical workload — session count, namespace width, op budget,
+// seed, and the full FS configuration — is embedded in each run's
+// Config.
+type Report struct {
+	// Schema identifies the report format (SchemaV1).
+	Schema string `json:"schema"`
+	// Bench names the benchmark family ("serving").
+	Bench string `json:"bench"`
+	// Runs holds one measured trajectory point per configuration.
+	Runs []Result `json:"runs"`
+}
+
+// NewReport assembles a versioned report from measured runs.
+func NewReport(runs []Result) Report {
+	return Report{Schema: SchemaV1, Bench: "serving", Runs: runs}
+}
+
+// Encode writes the report as indented JSON.
+func (r Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport parses a report produced by Encode.
+func DecodeReport(data []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("serve: parsing report: %w", err)
+	}
+	return r, nil
+}
+
+// Validate is the schema sanity check the CI gate runs over committed
+// BENCH_*.json files: schema tag, at least one run, and for every run
+// a non-zero op count, positive virtual time and throughput, the full
+// reproduction config, and per-op latency entries whose percentiles
+// are ordered (p50 ≤ p99 ≤ worst).
+func (r Report) Validate() error {
+	if r.Schema != SchemaV1 {
+		return fmt.Errorf("serve: schema %q, want %q", r.Schema, SchemaV1)
+	}
+	if r.Bench != "serving" {
+		return fmt.Errorf("serve: bench %q, want serving", r.Bench)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("serve: report has no runs")
+	}
+	for i, run := range r.Runs {
+		c := run.Config
+		if c.Sessions <= 0 || c.Files <= 0 || c.Seed == 0 ||
+			c.SegmentBlocks <= 0 || c.CheckpointBlocks <= 0 || c.DeviceBlocks <= 0 ||
+			c.CheckpointEvery <= 0 {
+			return fmt.Errorf("serve: run %d: incomplete reproduction config %+v", i, c)
+		}
+		if run.TotalOps == 0 {
+			return fmt.Errorf("serve: run %d (sessions=%d): zero op count", i, c.Sessions)
+		}
+		if run.VirtualNS <= 0 || run.ThroughputOpsPerSec <= 0 {
+			return fmt.Errorf("serve: run %d (sessions=%d): no virtual time recorded", i, c.Sessions)
+		}
+		if len(run.PerOp) == 0 {
+			return fmt.Errorf("serve: run %d (sessions=%d): no per-op latency", i, c.Sessions)
+		}
+		var counted uint64
+		for kind, st := range run.PerOp {
+			if st.Count == 0 {
+				return fmt.Errorf("serve: run %d: op %q has zero count", i, kind)
+			}
+			if st.P50NS > st.P99NS || st.P99NS > st.WorstNS || st.P50NS < 0 {
+				return fmt.Errorf("serve: run %d: op %q percentiles disordered (p50=%d p99=%d worst=%d)",
+					i, kind, st.P50NS, st.P99NS, st.WorstNS)
+			}
+			counted += st.Count
+		}
+		if counted != run.TotalOps {
+			return fmt.Errorf("serve: run %d: per-op counts sum to %d, total says %d", i, counted, run.TotalOps)
+		}
+	}
+	return nil
+}
+
+// ValidateJSON decodes and validates raw report bytes — the one-call
+// form tools/benchcheck uses.
+func ValidateJSON(data []byte) error {
+	r, err := DecodeReport(data)
+	if err != nil {
+		return err
+	}
+	return r.Validate()
+}

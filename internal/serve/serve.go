@@ -1,0 +1,348 @@
+// Package serve is the trace-driven serving tier: a multi-client
+// macro-benchmark harness that replays internal/workload traces
+// against ONE mounted lfs.FS from N concurrent sessions and reports
+// virtual-time latency percentiles per op kind plus sustained
+// throughput — the yardstick trajectory every later scaling PR is
+// judged against (ROADMAP "Trace-driven serving tier").
+//
+// Session model: the namespace and the op budget are partitioned
+// statically over N sessions. Session i owns a disjoint namespace
+// shard (workload.Mix with prefix "sNN") and replays its own
+// deterministically seeded stream, so the set of streams is identical
+// for any interleaving — only the interleaving itself, and therefore
+// the measured contention, varies with scheduling.
+//
+// Virtual-time accounting follows the system-wide slowest-worker
+// contract (ARCHITECTURE.md): one shared device clock accumulates
+// serialised foreground work no matter how many goroutines issue it.
+// A session stamps the shared clock around each op, so an op's
+// recorded latency is the virtual time until its effects are on the
+// medium *including* the device work of ops it queued behind — which
+// is exactly the tail a client of a loaded server observes. Buffered
+// appends cost ~0 until the next sync; syncs and reads carry the
+// device work, and the per-kind histograms make that split visible.
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"sero/internal/device"
+	"sero/internal/lfs"
+	"sero/internal/medium"
+	"sero/internal/sim"
+	"sero/internal/workload"
+)
+
+// Config describes one serving run completely: replaying the same
+// Config (and code) reproduces the same per-session op streams, which
+// is what lets a future PR re-run a recorded BENCH trajectory and diff
+// it.
+type Config struct {
+	// Sessions is the number of concurrent client sessions.
+	Sessions int `json:"sessions"`
+	// Files is the total namespace width, partitioned over sessions.
+	Files int `json:"files"`
+	// Ops is the total mix-op budget, partitioned over sessions (the
+	// population phase's creates and seed writes are on top of it and
+	// are measured too).
+	Ops int `json:"ops"`
+	// FileBlocks caps each file's size in blocks.
+	FileBlocks int `json:"file_blocks"`
+	// Seed derives every session's RNG stream.
+	Seed uint64 `json:"seed"`
+	// ZipfTheta is the file-popularity skew (0 = uniform).
+	ZipfTheta float64 `json:"zipf_theta"`
+	// SyncEvery is each session's ops-per-sync cadence (workload.Mix).
+	SyncEvery int `json:"sync_every"`
+	// BurstEvery is the op spacing between append bursts.
+	BurstEvery int `json:"burst_every"`
+	// BurstLen is the appends per burst.
+	BurstLen int `json:"burst_len"`
+
+	// DeviceBlocks sizes the simulated device; 0 auto-sizes from
+	// Files and Ops.
+	DeviceBlocks int `json:"device_blocks"`
+	// SegmentBlocks mirrors lfs.Params.SegmentBlocks (0 = serving
+	// default, 256).
+	SegmentBlocks int `json:"segment_blocks"`
+	// CheckpointBlocks mirrors lfs.Params.CheckpointBlocks; 0
+	// auto-sizes from Files so both slots hold the namespace.
+	CheckpointBlocks int `json:"checkpoint_blocks"`
+	// WritebackBlocks mirrors lfs.Params.WritebackBlocks (0 =
+	// whole-segment group commit).
+	WritebackBlocks int `json:"writeback_blocks"`
+	// CheckpointEvery mirrors lfs.Params.CheckpointEvery (0 = 1<<16).
+	CheckpointEvery int `json:"ckpt_every"`
+	// CleanWatermark mirrors lfs.Params.CleanWatermark (0 =
+	// foreground-only cleaning).
+	CleanWatermark int `json:"clean_watermark"`
+	// Concurrency mirrors lfs.Params.Concurrency (0 = serial).
+	Concurrency int `json:"concurrency"`
+}
+
+// DefaultConfig returns the standard serving configuration at the
+// given session count: the DefaultMix op blend over a zipfian(0.9)
+// namespace.
+func DefaultConfig(sessions, files, ops int) Config {
+	m := workload.DefaultMix(1, 1)
+	return Config{
+		Sessions:        sessions,
+		Files:           files,
+		Ops:             ops,
+		FileBlocks:      m.FileBlocks,
+		Seed:            42,
+		ZipfTheta:       m.ZipfTheta,
+		SyncEvery:       m.SyncEvery,
+		BurstEvery:      m.BurstEvery,
+		BurstLen:        m.BurstLen,
+		SegmentBlocks:   256,
+		CheckpointEvery: 1 << 16,
+	}
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// withDefaults fills the zero knobs and validates the rest.
+func (c Config) withDefaults() (Config, error) {
+	if c.Sessions <= 0 || c.Files <= 0 || c.Ops < 0 {
+		return c, fmt.Errorf("serve: bad config: sessions=%d files=%d ops=%d", c.Sessions, c.Files, c.Ops)
+	}
+	if c.Sessions > c.Files {
+		return c, fmt.Errorf("serve: %d sessions cannot shard %d files", c.Sessions, c.Files)
+	}
+	if c.FileBlocks <= 0 {
+		c.FileBlocks = 4
+	}
+	if c.FileBlocks > lfs.MaxFileBlocks {
+		return c, fmt.Errorf("serve: FileBlocks %d exceeds lfs limit %d", c.FileBlocks, lfs.MaxFileBlocks)
+	}
+	if c.ZipfTheta < 0 || c.ZipfTheta >= 1 {
+		return c, fmt.Errorf("serve: ZipfTheta %g outside [0,1)", c.ZipfTheta)
+	}
+	if c.SegmentBlocks <= 0 {
+		c.SegmentBlocks = 256
+	}
+	if c.CheckpointBlocks <= 0 {
+		// Each slot must hold imap + directory + liveness table for the
+		// whole namespace; ~72 bytes per file covers all three with
+		// headroom, doubled for the two slots.
+		slotBlocks := (72*c.Files + 16384) / device.DataBytes
+		c.CheckpointBlocks = nextPow2(2 * slotBlocks)
+		if c.CheckpointBlocks < 2*c.SegmentBlocks {
+			c.CheckpointBlocks = 2 * c.SegmentBlocks
+		}
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1 << 16
+	}
+	if c.DeviceBlocks <= 0 {
+		// Population ≈ 2 blocks/file (seed data + inode) plus journal
+		// records; mix ops append at most ~1.5 blocks each with inode
+		// rewrites and churn; leave cleaning headroom.
+		need := c.CheckpointBlocks + 3*c.Files + 4*c.Ops + 8*c.SegmentBlocks
+		c.DeviceBlocks = nextPow2(need)
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.WritebackBlocks < 0 || c.CleanWatermark < 0 {
+		return c, fmt.Errorf("serve: negative writeback/watermark")
+	}
+	return c, nil
+}
+
+// OpStats summarises one op kind's virtual-time latency.
+type OpStats struct {
+	// Count is the number of ops of this kind applied.
+	Count uint64 `json:"count"`
+	// P50NS is the median virtual-time latency in nanoseconds (exact
+	// to within a power-of-two histogram bucket, as is P99NS).
+	P50NS int64 `json:"p50_ns"`
+	// P99NS is the 99th-percentile latency in nanoseconds.
+	P99NS int64 `json:"p99_ns"`
+	// WorstNS is the exact worst-op latency.
+	WorstNS int64 `json:"worst_ns"`
+	// MeanNS is the arithmetic mean latency.
+	MeanNS int64 `json:"mean_ns"`
+}
+
+// Result is one serving run's measured trajectory point.
+type Result struct {
+	// Config echoes the full reproduction configuration, with every
+	// auto-sized knob resolved.
+	Config Config `json:"config"`
+	// TotalOps counts every applied op, population phase included.
+	TotalOps uint64 `json:"total_ops"`
+	// VirtualNS is the virtual time the whole run consumed.
+	VirtualNS int64 `json:"virtual_ns"`
+	// ThroughputOpsPerSec is sustained throughput in ops per virtual
+	// second.
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_vsec"`
+	// PerOp holds the latency summary per op kind, keyed by
+	// workload.OpKind.String().
+	PerOp map[string]OpStats `json:"per_op"`
+	// BlocksAppended echoes the FS counter explaining the trajectory's
+	// write volume, as do the four counters below.
+	BlocksAppended uint64 `json:"blocks_appended"`
+	// Syncs counts acked Sync calls.
+	Syncs uint64 `json:"syncs"`
+	// Checkpoints counts checkpoint-region rewrites.
+	Checkpoints uint64 `json:"checkpoints"`
+	// JournalRecords counts summary records appended.
+	JournalRecords uint64 `json:"journal_records"`
+	// CleanerPasses counts cleaning passes the run triggered.
+	CleanerPasses uint64 `json:"cleaner_passes"`
+}
+
+// session is one client's private replay state.
+type session struct {
+	id     int
+	stream []workload.Op
+	hists  map[workload.OpKind]*histogram
+	err    error
+}
+
+// sessionSeed derives session i's RNG seed from the run seed.
+func sessionSeed(seed uint64, i int) uint64 {
+	return seed ^ (uint64(i+1) * 0x9E3779B97F4A7C15)
+}
+
+// Run executes one serving run: it formats a quiet FS, generates every
+// session's stream, replays them from Sessions concurrent goroutines
+// and merges the per-session recorders into a Result.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	dp := device.DefaultParams(cfg.DeviceBlocks)
+	mp := medium.DefaultParams(cfg.DeviceBlocks, device.DotsPerBlock)
+	mp.ReadNoiseSigma, mp.ResidualInPlaneSignal, mp.ThermalCrosstalk = 0, 0, 0
+	dp.Medium = mp
+	dev := device.New(dp)
+	fs, err := lfs.New(dev, lfs.Params{
+		SegmentBlocks:    cfg.SegmentBlocks,
+		CheckpointBlocks: cfg.CheckpointBlocks,
+		WritebackBlocks:  cfg.WritebackBlocks,
+		CheckpointEvery:  cfg.CheckpointEvery,
+		CleanWatermark:   cfg.CleanWatermark,
+		Concurrency:      cfg.Concurrency,
+		HeatAware:        true,
+		ReserveSegments:  2,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer fs.Close()
+
+	// Partition namespace and op budget; the first shards absorb the
+	// remainders so the totals are exact.
+	sessions := make([]*session, cfg.Sessions)
+	def := workload.DefaultMix(1, 1)
+	for i := range sessions {
+		files := cfg.Files / cfg.Sessions
+		if i < cfg.Files%cfg.Sessions {
+			files++
+		}
+		ops := cfg.Ops / cfg.Sessions
+		if i < cfg.Ops%cfg.Sessions {
+			ops++
+		}
+		mix := workload.Mix{
+			Files:      files,
+			FileBlocks: cfg.FileBlocks,
+			Ops:        ops,
+			Prefix:     fmt.Sprintf("s%03d", i),
+			CreateW:    def.CreateW,
+			AppendW:    def.AppendW,
+			ReadW:      def.ReadW,
+			RenameW:    def.RenameW,
+			DeleteW:    def.DeleteW,
+			ZipfTheta:  cfg.ZipfTheta,
+			SyncEvery:  cfg.SyncEvery,
+			BurstEvery: cfg.BurstEvery,
+			BurstLen:   cfg.BurstLen,
+		}
+		sessions[i] = &session{
+			id:     i,
+			stream: mix.Generate(sim.NewRNG(sessionSeed(cfg.Seed, i))),
+			hists:  make(map[workload.OpKind]*histogram),
+		}
+	}
+
+	clock := dev.Clock()
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *session) {
+			defer wg.Done()
+			a := workload.NewApplier(fs)
+			for _, op := range s.stream {
+				t0 := clock.Now()
+				if err := a.Apply(op); err != nil {
+					s.err = fmt.Errorf("serve: session %d: %w", s.id, err)
+					return
+				}
+				h := s.hists[op.Kind]
+				if h == nil {
+					h = &histogram{}
+					s.hists[op.Kind] = h
+				}
+				h.record(clock.Now() - t0)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	merged := make(map[workload.OpKind]*histogram)
+	var total uint64
+	for _, s := range sessions {
+		if s.err != nil {
+			return Result{}, s.err
+		}
+		for k, h := range s.hists {
+			m := merged[k]
+			if m == nil {
+				m = &histogram{}
+				merged[k] = m
+			}
+			m.merge(h)
+			total += h.count
+		}
+	}
+
+	res := Result{
+		Config:    cfg,
+		TotalOps:  total,
+		VirtualNS: int64(clock.Now()),
+		PerOp:     make(map[string]OpStats, len(merged)),
+	}
+	if res.VirtualNS > 0 {
+		res.ThroughputOpsPerSec = float64(total) / (float64(res.VirtualNS) / float64(time.Second))
+	}
+	for k, h := range merged {
+		res.PerOp[k.String()] = OpStats{
+			Count:   h.count,
+			P50NS:   int64(h.quantile(0.50)),
+			P99NS:   int64(h.quantile(0.99)),
+			WorstNS: int64(h.worst()),
+			MeanNS:  int64(h.mean()),
+		}
+	}
+	st := fs.Stats()
+	res.BlocksAppended = st.BlocksAppended
+	res.Syncs = st.Syncs
+	res.Checkpoints = st.Checkpoints
+	res.JournalRecords = st.JournalRecords
+	res.CleanerPasses = st.CleanerPasses
+	return res, nil
+}

