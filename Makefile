@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-serve benchcheck fuzz docs ci
+.PHONY: all build vet test race bench bench-serve bench-serve-quick benchcheck fuzz docs ci
 
 all: build
 
@@ -40,6 +40,16 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/serocli bench-serve -out BENCH_serving.json
 
+# A seconds-long smoke pass of the serving benchmark: a small
+# namespace and op budget at 1 and 4 sessions, validated and then
+# discarded. Run by `make ci` so the whole bench-serve pipeline — mix
+# generation, session replay, amortized-sync accounting, report
+# validation — is exercised on every change without the minutes-long
+# full run.
+bench-serve-quick:
+	$(GO) run ./cmd/serocli bench-serve -files 2048 -ops 4096 -sessions 1,4 -out /tmp/sero-bench-quick.json
+	$(GO) run ./tools/benchcheck /tmp/sero-bench-quick.json
+
 # Schema gate over the committed trajectory files.
 benchcheck:
 	$(GO) run ./tools/benchcheck BENCH_serving.json
@@ -64,4 +74,4 @@ docs:
 	$(GO) run ./tools/doccheck . ./internal/lfs ./internal/serve
 
 # docs already runs vet, so ci doesn't list it twice.
-ci: build test race docs benchcheck
+ci: build test race docs benchcheck bench-serve-quick

@@ -39,7 +39,12 @@
 //	-seed N       RNG seed deriving every session stream (default 42)
 //	-writeback N, -ckpt-every N, -clean-watermark N, -j N
 //	              FS knobs as for the tour (bench defaults:
-//	              ckpt-every 65536)
+//	              ckpt-every 65536, j 4 — the parallel write path,
+//	              cleaner and mount fan out over 4 worker planes)
+//	-affinity-classes N
+//	              heat-affinity classes the sessions spread over
+//	              (default 4; 1 = every append through one frontier,
+//	              the pre-fan-out baseline)
 //	-out FILE     report path (default BENCH_serving.json)
 //
 // Example invocations:
@@ -206,7 +211,8 @@ func benchServe(args []string) error {
 	writeback := fl.Int("writeback", 0, "group-commit granularity in blocks (0 = whole segments)")
 	ckptEvery := fl.Int("ckpt-every", 1<<16, "checkpoint interval in appended blocks")
 	cleanWM := fl.Int("clean-watermark", 0, "background-cleaner threshold (0 = foreground-only)")
-	workers := fl.Int("j", 1, "FS cleaner/audit concurrency")
+	workers := fl.Int("j", 4, "FS worker-plane fan-out (sync flush, cleaner, mount; 1 = serial)")
+	classes := fl.Int("affinity-classes", 4, "heat-affinity classes the sessions spread over (1 = single frontier)")
 	out := fl.String("out", "BENCH_serving.json", "report output path")
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -220,6 +226,12 @@ func benchServe(args []string) error {
 	}
 	if *seed == 0 {
 		return fmt.Errorf("-seed must be nonzero (the report schema treats 0 as missing)")
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("-j must be positive (got %d)", *workers)
+	}
+	if *classes <= 0 || *classes > 256 {
+		return fmt.Errorf("-affinity-classes must be in [1,256] (got %d)", *classes)
 	}
 
 	var runs []serve.Result
@@ -245,6 +257,7 @@ func benchServe(args []string) error {
 		cfg.CheckpointEvery = *ckptEvery
 		cfg.CleanWatermark = *cleanWM
 		cfg.Concurrency = *workers
+		cfg.AffinityClasses = *classes
 		fmt.Printf("bench-serve: sessions=%d files=%d ops=%d ...\n", n, *files, *ops)
 		res, err := serve.Run(cfg)
 		if err != nil {

@@ -181,8 +181,8 @@ func injectDamage(dev *sero.Device, fs *sero.FS, inject string) error {
 		// slot, leaving the core frame — and so the checkpoint — intact.
 		corrupted := false
 		for _, base := range []uint64{0, uint64(slot)} {
-			img, ok := readSlotPrefix(dev, base, slot)
-			if !ok {
+			img, _ := sero.ReadCheckpointPrefix(dev, base, slot)
+			if len(img) == 0 {
 				continue
 			}
 			total := binary.BigEndian.Uint64(img[:8])
@@ -207,19 +207,6 @@ func injectDamage(dev *sero.Device, fs *sero.FS, inject string) error {
 		}
 	}
 	return nil
-}
-
-// readSlotPrefix reads the readable prefix of a checkpoint slot.
-func readSlotPrefix(dev *sero.Device, base uint64, blocks int) ([]byte, bool) {
-	var img []byte
-	for i := 0; i < blocks; i++ {
-		data, err := dev.Read(base + uint64(i))
-		if err != nil {
-			break
-		}
-		img = append(img, data...)
-	}
-	return img, len(img) > 0
 }
 
 func run(blocks int, attackMode string, workers int) error {

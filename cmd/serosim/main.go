@@ -55,6 +55,11 @@
 //	              FS, with per-op virtual-time latency percentiles and
 //	              sustained throughput (the in-process rendition of
 //	              `serocli bench-serve`)
+//	e19-parallel-write  the parallel write path: mixed hot+cold appends
+//	              over eight affinity classes, per-class runs flushed
+//	              serially (j=1, the single-frontier baseline) vs
+//	              fanned over worker planes up to -j — byte-identical
+//	              layout, slowest-class virtual time
 //
 // Example invocations:
 //
@@ -113,7 +118,7 @@ func main() {
 		"e1-latency", "e2-gc", "e3-bimodal", "e4-attacks",
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
 		"e14-writepath", "e15-recovery", "e16-background-clean",
-		"e17-mount-scale", "e18-serving",
+		"e17-mount-scale", "e18-serving", "e19-parallel-write",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -244,6 +249,12 @@ func run(name string, seed uint64) error {
 		fmt.Print(res.Table())
 	case "e18-serving":
 		res, err := experiments.RunE18(fsFlags.sessions, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+	case "e19-parallel-write":
+		res, err := experiments.RunE19(fsFlags.workers)
 		if err != nil {
 			return err
 		}

@@ -180,6 +180,98 @@ func (d *Device) writeMoveRun(pl *plane, start uint64, bufs [][]byte) error {
 	return nil
 }
 
+// WriteRun is one contiguous batched write command: Blocks land at
+// Start, Start+1, …, exactly as WriteBlocks would commit them — the
+// stripe locks covering the run taken once, seek and settle charged
+// once, frames streamed.
+type WriteRun struct {
+	// Start is the first destination block of the run.
+	Start uint64
+	// Blocks are the 512-byte payloads, one per consecutive block.
+	Blocks [][]byte
+}
+
+// WriteRunsFanned commits independent contiguous write runs on a pool
+// of worker planes — the foreground write path's fan-out engine, used
+// by the lfs Sync path to flush per-affinity-class group-commit
+// buffers in one pass. Worker w handles runs w, w+workers, … on a
+// private latency plane (static partition, like MoveGroups), and when
+// the pool drains the device clock advances by the *maximum*
+// per-worker elapsed virtual time: a fanned-out flush costs its
+// slowest worker, not the sum. Every run's destination is the
+// caller's (preassigned frontiers), so the post-flush medium layout is
+// identical for any worker count; only the virtual time changes.
+//
+// Each run carries WriteBlocks' exact per-run contract: every payload
+// and target block is checked before the first bit of that run is
+// written, so a refused run writes nothing (errs[i] reports run i's
+// outcome; other runs proceed). Callers must present runs with
+// disjoint block ranges — they are committed concurrently under their
+// own stripe locks with no cross-run ordering. workers <= 0 means the
+// device's configured Concurrency.
+func (d *Device) WriteRunsFanned(runs []WriteRun, workers int) []error {
+	errs := make([]error, len(runs))
+	if len(runs) == 0 {
+		return errs
+	}
+	if workers <= 0 {
+		workers = d.Concurrency()
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	planes := make([]*plane, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pl := d.newPlane()
+		planes[w] = pl
+		wg.Add(1)
+		go func(w int, pl *plane) {
+			defer wg.Done()
+			for g := w; g < len(runs); g += workers {
+				errs[g] = d.writeRunChecked(pl, runs[g])
+			}
+		}(w, pl)
+	}
+	wg.Wait()
+	d.drainPlanes(planes)
+	return errs
+}
+
+// writeRunChecked validates and commits one run on the given plane,
+// mirroring WriteBlocks' checks block for block. Caller holds the gate
+// read lock.
+func (d *Device) writeRunChecked(pl *plane, r WriteRun) error {
+	if len(r.Blocks) == 0 {
+		return nil
+	}
+	for i, b := range r.Blocks {
+		if len(b) != DataBytes {
+			return fmt.Errorf("device: WriteRunsFanned payload %d bytes at block %d, want %d",
+				len(b), i, DataBytes)
+		}
+	}
+	n := uint64(len(r.Blocks))
+	if err := d.checkPBA(r.Start); err != nil {
+		return err
+	}
+	if r.Start+n > uint64(d.p.Blocks) {
+		return fmt.Errorf("%w: [%d,%d) beyond %d blocks",
+			ErrOutOfRange, r.Start, r.Start+n, d.p.Blocks)
+	}
+	locked := d.lockRange(r.Start, r.Start+n)
+	defer d.unlockRange(locked)
+	for pba := r.Start; pba < r.Start+n; pba++ {
+		if err := d.magWriteCheck(pba); err != nil {
+			return err
+		}
+	}
+	d.writeRunOn(pl, r.Start, r.Blocks)
+	return nil
+}
+
 // ReadBlocksFanned magnetically reads an arbitrary set of blocks on a
 // pool of worker planes — the mount-time inode walk's engine. The
 // input is split into contiguous index ranges, one per worker (a

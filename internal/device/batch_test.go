@@ -197,3 +197,94 @@ func TestMoveGroupsRefusesBadDestination(t *testing.T) {
 		t.Fatalf("move onto heated block accepted: %+v", res[0])
 	}
 }
+
+// TestWriteRunsFannedMatchesSerial pins the fanned group-commit
+// engine's contract: the same runs written serially via WriteBlocks
+// and fanned over worker planes leave identical bits, and the fanned
+// virtual cost never exceeds serial (slowest-worker clock advance).
+func TestWriteRunsFannedMatchesSerial(t *testing.T) {
+	mkRuns := func() []WriteRun {
+		runs := make([]WriteRun, 6)
+		for r := range runs {
+			blocks := make([][]byte, 3+r%3)
+			for i := range blocks {
+				blocks[i] = pattern(byte(16*r + i))
+			}
+			runs[r] = WriteRun{Start: uint64(r * 12), Blocks: blocks}
+		}
+		return runs
+	}
+
+	serial := testDevice(t, 128)
+	t0 := serial.Clock().Now()
+	for _, run := range mkRuns() {
+		if err := serial.WriteBlocks(run.Start, run.Blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialNS := serial.Clock().Now() - t0
+
+	for _, workers := range []int{1, 2, 4, 9} {
+		d := testDevice(t, 128)
+		t0 := d.Clock().Now()
+		for i, err := range d.WriteRunsFanned(mkRuns(), workers) {
+			if err != nil {
+				t.Fatalf("workers=%d: run %d: %v", workers, i, err)
+			}
+		}
+		cost := d.Clock().Now() - t0
+		if cost > serialNS {
+			t.Fatalf("workers=%d: fanned cost %v exceeds serial %v", workers, cost, serialNS)
+		}
+		for _, run := range mkRuns() {
+			for i, want := range run.Blocks {
+				got, err := d.MRS(run.Start + uint64(i))
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("workers=%d: block %d corrupted: %v", workers, run.Start+uint64(i), err)
+				}
+			}
+		}
+	}
+}
+
+// TestWriteRunsFannedRefusalIsPerRun checks refusal isolation: one bad
+// run reports its own error and writes nothing, while every other run
+// in the same fan-out lands intact.
+func TestWriteRunsFannedRefusalIsPerRun(t *testing.T) {
+	d := testDevice(t, 64)
+	if err := d.MWS(20, pattern(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EWS(21, []byte("frozen")); err != nil { // heated: magnetic writes refuse
+		t.Fatal(err)
+	}
+	runs := []WriteRun{
+		{Start: 0, Blocks: [][]byte{pattern(10), pattern(11)}},
+		{Start: 20, Blocks: [][]byte{pattern(12), pattern(13)}}, // covers the heated block
+		{Start: 40, Blocks: [][]byte{pattern(14)}},
+		{Start: 63, Blocks: [][]byte{pattern(15), pattern(16)}}, // out of range
+	}
+	errs := d.WriteRunsFanned(runs, 2)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good runs failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("run over a heated block accepted")
+	}
+	if errs[3] == nil {
+		t.Fatal("run beyond device accepted")
+	}
+	// The refused run wrote nothing — block 20 keeps its old bits.
+	if got, err := d.MRS(20); err != nil || !bytes.Equal(got, pattern(1)) {
+		t.Fatal("refused run still wrote its first block")
+	}
+	// The good runs landed.
+	for _, at := range []struct {
+		pba  uint64
+		seed byte
+	}{{0, 10}, {1, 11}, {40, 14}} {
+		if got, err := d.MRS(at.pba); err != nil || !bytes.Equal(got, pattern(at.seed)) {
+			t.Fatalf("good run block %d corrupted: %v", at.pba, err)
+		}
+	}
+}

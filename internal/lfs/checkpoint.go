@@ -377,16 +377,21 @@ func (fs *FS) readSlot(base uint64) (*ckptImage, slotStatus) {
 		return nil, slotTorn
 	}
 	framed := append([]byte(nil), first...)
+	// Extending the frame is batched: each readTo call fans the whole
+	// still-needed block range out over worker planes in one
+	// ReadBlocksFanned pass (this was the last serial block-at-a-time
+	// mount path). framed always ends on a block boundary, and an
+	// unreadable block degrades exactly as the serial loop did — the
+	// readable prefix is kept, the extension reports failure.
 	readTo := func(n uint64) bool {
-		for uint64(len(framed)) < n {
-			blk := base + uint64(len(framed)/device.DataBytes)
-			data, rerr := fs.dev.MRS(blk)
-			if rerr != nil {
-				return false
-			}
-			framed = append(framed, data...)
+		have := uint64(len(framed))
+		if n <= have {
+			return true
 		}
-		return true
+		count := int((n - have + device.DataBytes - 1) / device.DataBytes)
+		data, complete := ReadablePrefix(fs.dev, base+have/device.DataBytes, count, fs.p.Concurrency)
+		framed = append(framed, data...)
+		return complete
 	}
 	if !readTo(total + 16) {
 		return nil, slotTorn
@@ -489,6 +494,55 @@ func (fs *FS) readSlotTable(ck *ckptImage, base, total uint64, readTo func(uint6
 		return
 	}
 	ck.table = refs
+}
+
+// fanReadMinShare is the smallest per-plane share worth a private
+// worker plane: a plane pays its own positioning seek before it
+// streams, so below this many blocks per worker the fan-out costs
+// more virtual time than the serial read it replaces.
+const fanReadMinShare = 16
+
+// ReadablePrefix magnetically reads the block range [base,
+// base+blocks) and returns the concatenated payloads up to (not
+// including) the first unreadable block, plus whether the whole range
+// was readable. It is the one readable-prefix primitive shared by the
+// mount path's checkpoint-slot reads and serofsck's damage probes —
+// both need "give me as much of this region as the medium still
+// yields" semantics. Wide ranges are fanned over up to workers device
+// planes (clamped so every plane streams at least fanReadMinShare
+// blocks); narrow ranges and workers <= 1 read serially on the
+// foreground probe, which pays no per-plane positioning seek.
+func ReadablePrefix(dev *device.Device, base uint64, blocks, workers int) ([]byte, bool) {
+	if blocks <= 0 {
+		return nil, true
+	}
+	if maxw := (blocks + fanReadMinShare - 1) / fanReadMinShare; workers > maxw {
+		workers = maxw
+	}
+	if workers <= 1 {
+		out := make([]byte, 0, blocks*device.DataBytes)
+		for i := 0; i < blocks; i++ {
+			b, err := dev.MRS(base + uint64(i))
+			if err != nil {
+				return out, false
+			}
+			out = append(out, b...)
+		}
+		return out, true
+	}
+	pbas := make([]uint64, blocks)
+	for i := range pbas {
+		pbas[i] = base + uint64(i)
+	}
+	bufs, errs := dev.ReadBlocksFanned(pbas, workers)
+	out := make([]byte, 0, blocks*device.DataBytes)
+	for i, b := range bufs {
+		if errs[i] != nil {
+			return out, false
+		}
+		out = append(out, b...)
+	}
+	return out, true
 }
 
 // peekSlotEpoch reads only a slot's first block and returns the

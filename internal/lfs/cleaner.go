@@ -130,6 +130,34 @@ func (fs *FS) Clean(targetFree int) CleanStats {
 	return cs
 }
 
+// CleanStep runs at most ONE phased cleaning round — plan under the
+// lock, copy off it on worker planes, commit under it — toward
+// targetFree reclaimable segments, and returns without checkpointing.
+// It is the cooperative form of Clean for latency-critical embedders:
+// instead of arming the watermark cleaner (and eating whole-pass
+// stalls at times the scheduler picks), the embedder calls CleanStep
+// from its own idle moments and stops the moment foreground work
+// arrives — each round holds fs.mu only for its short plan and commit
+// windows and copies at most cleanBatchSegments victims.
+//
+// The round's stats and whether it made net progress are returned:
+// more=false means the pool already meets targetFree, another
+// cleaning pass is in flight, or no further net progress is possible
+// — the natural loop is `for { if _, more := fs.CleanStep(n); !more
+// { break } }`. Segments a round empties stay gated (SegFreeing) and
+// do not become reusable until the next Sync or Checkpoint puts a
+// covering point on the medium; embedders that want the space
+// released promptly should Sync after stepping.
+func (fs *FS) CleanStep(targetFree int) (cs CleanStats, more bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.cleaning || fs.sm.reclaimable() >= targetFree {
+		return cs, false
+	}
+	fs.stats.CleanerPasses++
+	return cs, fs.cleanRoundLocked(targetFree, &cs)
+}
+
 // cleanPhased is the incremental cleaning loop shared by Clean and the
 // background cleaner: plan under the lock, copy off it, commit under
 // it, repeat while passes still make net progress toward targetFree
@@ -147,53 +175,63 @@ func (fs *FS) cleanPhased(targetFree int) CleanStats {
 			fs.stats.CleanerPasses++
 			counted = true
 		}
-		fs.setCleaningLocked(true)
-		before := fs.sm.reclaimable()
-		// Incremental batching: a phased round takes at most
-		// cleanBatchSegments victims, then re-locks, commits and
-		// re-plans. Small rounds keep both the plan/commit lock windows
-		// and each copy drain short — a foreground operation never
-		// waits behind more than one round's worth of cleaning — at the
-		// price of re-scoring victims between rounds. The batch size is
-		// a constant, NOT a function of the worker count: victim
-		// re-scoring between rounds depends on how the pass was
-		// batched, so a worker-dependent batch would break the
-		// layout-independence contract.
-		k := targetFree - before
-		if k > cleanBatchSegments {
-			k = cleanBatchSegments
-		}
-		victims := fs.pickVictims(k, &cs)
-		var plan *cleanPlan
-		if len(victims) > 0 {
-			plan = fs.planVictimsLocked(victims, &cs)
-		}
-		if plan == nil {
-			fs.setCleaningLocked(false)
-			fs.mu.Unlock()
-			break
-		}
-		fs.mu.Unlock()
-
-		// Copy phase: fs.mu is released; foreground appends, reads and
-		// syncs interleave with the fanned-out relocation.
-		results := fs.dev.MoveGroups(plan.groups, plan.workers)
-
-		fs.mu.Lock()
-		prevCopied := cs.BlocksCopied
-		ok := fs.commitVictimsLocked(plan, results, &cs)
-		fs.stats.CleanerCopied += uint64(cs.BlocksCopied - prevCopied)
-		progress := ok && fs.sm.reclaimable() > before
-		fs.setCleaningLocked(false)
+		progress := fs.cleanRoundLocked(targetFree, &cs)
 		fs.mu.Unlock()
 		if !progress {
-			// Gross progress without net gain — the pass consumed as
-			// many segments for copies and inode rewrites as it
-			// reclaimed — or a commit failure. Stop rather than thrash.
 			break
 		}
 	}
 	return cs
+}
+
+// cleanRoundLocked runs one plan/copy/commit round and reports whether
+// it made net progress (a false return also covers "nothing plannable"
+// and commit failures — the caller should stop rather than thrash).
+// The caller holds fs.mu with fs.cleaning clear and reclaimable() <
+// targetFree; the round releases fs.mu for its copy phase and returns
+// with it re-held and fs.cleaning clear again.
+func (fs *FS) cleanRoundLocked(targetFree int, cs *CleanStats) bool {
+	fs.setCleaningLocked(true)
+	before := fs.sm.reclaimable()
+	// Incremental batching: a phased round takes at most
+	// cleanBatchSegments victims, then re-locks, commits and
+	// re-plans. Small rounds keep both the plan/commit lock windows
+	// and each copy drain short — a foreground operation never
+	// waits behind more than one round's worth of cleaning — at the
+	// price of re-scoring victims between rounds. The batch size is
+	// a constant, NOT a function of the worker count: victim
+	// re-scoring between rounds depends on how the pass was
+	// batched, so a worker-dependent batch would break the
+	// layout-independence contract.
+	k := targetFree - before
+	if k > cleanBatchSegments {
+		k = cleanBatchSegments
+	}
+	victims := fs.pickVictims(k, cs)
+	var plan *cleanPlan
+	if len(victims) > 0 {
+		plan = fs.planVictimsLocked(victims, cs)
+	}
+	if plan == nil {
+		fs.setCleaningLocked(false)
+		return false
+	}
+	fs.mu.Unlock()
+
+	// Copy phase: fs.mu is released; foreground appends, reads and
+	// syncs interleave with the fanned-out relocation.
+	results := fs.dev.MoveGroups(plan.groups, plan.workers)
+
+	fs.mu.Lock()
+	prevCopied := cs.BlocksCopied
+	ok := fs.commitVictimsLocked(plan, results, cs)
+	fs.stats.CleanerCopied += uint64(cs.BlocksCopied - prevCopied)
+	// Gross progress without net gain — the round consumed as many
+	// segments for copies and inode rewrites as it reclaimed — or a
+	// commit failure stops the caller rather than letting it thrash.
+	progress := ok && fs.sm.reclaimable() > before
+	fs.setCleaningLocked(false)
+	return progress
 }
 
 // cleanLocked is the monolithic cleaning loop: all three phases run

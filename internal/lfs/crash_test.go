@@ -123,10 +123,12 @@ func matchesSnapshot(fs *FS, s fsSnapshot) bool {
 	return true
 }
 
-// TestCrashConsistencyEveryBoundary runs a mixed workload — creates,
-// multi-block writes, overwrites, deletes, renames, journaled syncs
-// and policy checkpoints — and then crashes it at every single block
-// boundary, mounting each crash image.
+// TestCrashConsistencyEveryBoundary runs a mixed workload — creates
+// spread over four heat-affinity classes, multi-block writes dirtying
+// at least two classes per sync (so the fanned multi-class flush is
+// mid-flight at many crash points), overwrites, deletes, renames,
+// journaled syncs and policy checkpoints — and then crashes it at
+// every single block boundary, mounting each crash image.
 func TestCrashConsistencyEveryBoundary(t *testing.T) {
 	const devBlocks = 2048
 	p := Params{
@@ -136,6 +138,7 @@ func TestCrashConsistencyEveryBoundary(t *testing.T) {
 		CheckpointEvery:  48, // journal syncs with periodic checkpoints
 		HeatAware:        true,
 		ReserveSegments:  2,
+		Concurrency:      2, // fan the per-class Sync flush (and the mounts below)
 	}
 	dev := quietDev(devBlocks)
 	rec := recordWrites(dev)
@@ -175,7 +178,7 @@ func TestCrashConsistencyEveryBoundary(t *testing.T) {
 	}
 
 	for i := 0; i < 4; i++ {
-		if _, cerr := fs.Create(fmt.Sprintf("f%d", i), uint8(i%2)); cerr != nil {
+		if _, cerr := fs.Create(fmt.Sprintf("f%d", i), uint8(i%4)); cerr != nil {
 			t.Fatal(cerr)
 		}
 		model[fmt.Sprintf("f%d", i)] = nil
@@ -184,6 +187,10 @@ func TestCrashConsistencyEveryBoundary(t *testing.T) {
 	for round := 0; round < 10; round++ {
 		name := fmt.Sprintf("f%d", round%4)
 		write(name, (round%3)*device.DataBytes/2, 1+round%3*device.DataBytes, byte(round+1))
+		// Dirty a second affinity class in the same sync interval, so
+		// the flush fans at least two class runs plus the affinity-0
+		// metadata run — crash points land between and inside them.
+		write(fmt.Sprintf("f%d", (round+2)%4), 0, device.DataBytes, byte(0x40+round))
 		if round == 4 {
 			if derr := fs.Delete("f3"); derr != nil {
 				t.Fatal(derr)
@@ -208,6 +215,13 @@ func TestCrashConsistencyEveryBoundary(t *testing.T) {
 	step := 1
 	if testing.Short() {
 		step = 5
+	}
+	if raceDetector {
+		// The sweep replays O(total²/step) block writes across its
+		// mounts; under the race detector's slowdown a stride of 1
+		// blows the package timeout. 5 keeps every phase sampled and
+		// stays off the k%7 cross-check cadence below.
+		step *= 5
 	}
 	for k := 0; k <= total; k += step {
 		lastAck := -1

@@ -32,12 +32,16 @@ type Params struct {
 	// SegmentBlocks are clamped to it.
 	WritebackBlocks int
 
-	// Concurrency is the cleaner fan-out width: a cleaning pass picks
-	// up to the needed number of victim segments and relocates their
-	// live blocks on this many concurrent device worker planes, so the
-	// pass costs the slowest worker's virtual time (the Audit
-	// contract). 0 or 1 cleans serially. The post-clean layout is
-	// identical for any value (destinations are planned serially).
+	// Concurrency is the worker-plane fan-out width for every fanned
+	// engine the FS drives: cleaning passes relocate victim blocks on
+	// this many concurrent device planes, Sync flushes the
+	// per-affinity-class group-commit buffers as concurrent runs (one
+	// batched command per class), and Mount batches its
+	// checkpoint-slot and inode reads over the same width — in every
+	// case the pass costs the slowest worker's virtual time (the
+	// Audit contract). 0 or 1 runs serially. The on-medium layout is
+	// identical for any value (frontiers and clean destinations are
+	// planned serially); only the virtual time changes.
 	Concurrency int
 
 	// CheckpointEvery is the background checkpoint policy, in blocks
@@ -756,30 +760,77 @@ func (fs *FS) flushSegment(seg *segment) error {
 
 // flushAffinitiesLocked group-commits active appender buffers in
 // affinity order for determinism, optionally skipping affinity 0.
+// With Concurrency > 1 and two or more non-empty buffers, the
+// per-class runs are committed concurrently on worker planes
+// (device.WriteRunsFanned, one batched command per class): every
+// class's destination run was preassigned at buffering time from its
+// own private frontier, so the on-medium layout is identical for any
+// worker count and only the virtual time changes — the fanned flush
+// costs its slowest class, not the sum (ARCHITECTURE.md contract 2).
 func (fs *FS) flushAffinitiesLocked(skipZero bool) error {
 	affs := make([]int, 0, len(fs.active))
 	for a := range fs.active {
 		if skipZero && a == 0 {
 			continue
 		}
-		affs = append(affs, int(a))
-	}
-	sortInts(affs)
-	for _, a := range affs {
-		if err := fs.flushSegment(fs.active[uint8(a)]); err != nil {
-			return err
+		if seg := fs.active[a]; seg != nil && len(seg.pending) > 0 {
+			affs = append(affs, int(a))
 		}
 	}
-	return nil
+	sortInts(affs)
+	if len(affs) < 2 || fs.p.Concurrency <= 1 {
+		for _, a := range affs {
+			if err := fs.flushSegment(fs.active[uint8(a)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	segs := make([]*segment, len(affs))
+	runs := make([]device.WriteRun, len(affs))
+	for i, a := range affs {
+		seg := fs.active[uint8(a)]
+		segs[i] = seg
+		runs[i] = device.WriteRun{
+			Start:  seg.start + uint64(seg.next-len(seg.pending)),
+			Blocks: seg.pending,
+		}
+	}
+	errs := fs.dev.WriteRunsFanned(runs, fs.p.Concurrency)
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("lfs: group commit of segment %d: %w", segs[i].id, err)
+			}
+			continue
+		}
+		fs.stats.GroupCommits++
+		segs[i].pending = nil
+	}
+	return firstErr
 }
 
 // flushActiveLocked group-commits every active appender's buffer.
 func (fs *FS) flushActiveLocked() error { return fs.flushAffinitiesLocked(false) }
 
 // flushOtherAffinitiesLocked group-commits every buffer except the
-// affinity-0 appender's, which the summary-tail sync flushes inside
-// the record's own command.
+// affinity-0 appender's, which the serial summary-tail sync flushes
+// inside the record's own command (the fanned sync flushes it on a
+// worker plane instead — see syncJournalLocked).
 func (fs *FS) flushOtherAffinitiesLocked() error { return fs.flushAffinitiesLocked(true) }
+
+// dirtyAffinitiesLocked counts affinity classes with buffered,
+// uncommitted appends.
+func (fs *FS) dirtyAffinitiesLocked() int {
+	n := 0
+	for _, seg := range fs.active {
+		if seg != nil && len(seg.pending) > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // appendBlock appends data to the log in the affinity's active
 // segment and returns its PBA, cleaning first when free space is low.

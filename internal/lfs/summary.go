@@ -490,10 +490,18 @@ func (fs *FS) syncJournalLocked() error {
 		return err
 	}
 	// Everything the record is about to ack must be on the medium no
-	// later than the record itself: other affinities flush first, the
-	// affinity-0 buffer flushes inside the record's own command, in
-	// front of it.
-	if err := fs.flushOtherAffinitiesLocked(); err != nil {
+	// later than the record itself. With worker planes and two or more
+	// dirty classes the whole flush fans — including affinity 0, whose
+	// run is often the largest (it carries the inode metadata) — and
+	// the record then commits alone, strictly after the fan-out joins.
+	// Otherwise the affinity-0 buffer stays pending here and flushes
+	// inside the record's own command, in front of it, riding its
+	// servo settle.
+	if fs.p.Concurrency > 1 && fs.dirtyAffinitiesLocked() >= 2 {
+		if err := fs.flushActiveLocked(); err != nil {
+			return err
+		}
+	} else if err := fs.flushOtherAffinitiesLocked(); err != nil {
 		return err
 	}
 	if !fs.journalDirtyLocked() && fs.sm.freeingSegments() == 0 {

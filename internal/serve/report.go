@@ -51,7 +51,10 @@ func DecodeReport(data []byte) (Report, error) {
 // BENCH_*.json files: schema tag, at least one run, and for every run
 // a non-zero op count, positive virtual time and throughput, the full
 // reproduction config, and per-op latency entries whose percentiles
-// are ordered (p50 ≤ p99 ≤ worst).
+// are ordered (p50 ≤ p99 ≤ worst) and not all-zero — a kind with ops
+// must carry either direct latency or a sync-amortized share, so a
+// report whose buffered ops silently lost their flush attribution
+// cannot anchor the regression gate.
 func (r Report) Validate() error {
 	if r.Schema != SchemaV1 {
 		return fmt.Errorf("serve: schema %q, want %q", r.Schema, SchemaV1)
@@ -86,6 +89,10 @@ func (r Report) Validate() error {
 			if st.P50NS > st.P99NS || st.P99NS > st.WorstNS || st.P50NS < 0 {
 				return fmt.Errorf("serve: run %d: op %q percentiles disordered (p50=%d p99=%d worst=%d)",
 					i, kind, st.P50NS, st.P99NS, st.WorstNS)
+			}
+			if st.WorstNS == 0 && st.SyncAmortizedNS == 0 {
+				return fmt.Errorf("serve: run %d: op %q has %d ops but all-zero latency (no direct or sync-amortized cost)",
+					i, kind, st.Count)
 			}
 			counted += st.Count
 		}

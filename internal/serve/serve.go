@@ -81,11 +81,20 @@ type Config struct {
 	CleanWatermark int `json:"clean_watermark"`
 	// Concurrency mirrors lfs.Params.Concurrency (0 = serial).
 	Concurrency int `json:"concurrency"`
+	// AffinityClasses spreads the sessions' namespaces over this many
+	// heat-affinity classes (session i creates its files in class
+	// i mod AffinityClasses), so a multi-session run exercises the
+	// per-class appender fan-out instead of serialising every append
+	// through the affinity-0 frontier. 0 or 1 keeps the single-class
+	// behaviour; the op streams are identical either way (only each
+	// create's affinity label changes).
+	AffinityClasses int `json:"affinity_classes"`
 }
 
 // DefaultConfig returns the standard serving configuration at the
 // given session count: the DefaultMix op blend over a zipfian(0.9)
-// namespace.
+// namespace, spread over four affinity classes with the write path,
+// cleaner and mount fanned out over four worker planes.
 func DefaultConfig(sessions, files, ops int) Config {
 	m := workload.DefaultMix(1, 1)
 	return Config{
@@ -100,6 +109,8 @@ func DefaultConfig(sessions, files, ops int) Config {
 		BurstLen:        m.BurstLen,
 		SegmentBlocks:   256,
 		CheckpointEvery: 1 << 16,
+		Concurrency:     4,
+		AffinityClasses: 4,
 	}
 }
 
@@ -154,6 +165,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Concurrency <= 0 {
 		c.Concurrency = 1
 	}
+	if c.AffinityClasses <= 0 {
+		c.AffinityClasses = 1
+	}
+	if c.AffinityClasses > 256 {
+		return c, fmt.Errorf("serve: AffinityClasses %d exceeds the 256 heat classes", c.AffinityClasses)
+	}
 	if c.WritebackBlocks < 0 || c.CleanWatermark < 0 {
 		return c, fmt.Errorf("serve: negative writeback/watermark")
 	}
@@ -173,6 +190,14 @@ type OpStats struct {
 	WorstNS int64 `json:"worst_ns"`
 	// MeanNS is the arithmetic mean latency.
 	MeanNS int64 `json:"mean_ns"`
+	// SyncAmortizedNS is the mean flush cost per op of this kind:
+	// buffered mutations (create/append/rename/delete) cost ~0 at
+	// apply time because the device work hides in the next sync, so
+	// each sync's latency is apportioned back equally over the
+	// buffered ops it covered and reported here as a per-op mean.
+	// Zero for kinds that carry their own device work (read, sync).
+	// The true cost of a buffered op is MeanNS + SyncAmortizedNS.
+	SyncAmortizedNS int64 `json:"sync_amortized_ns,omitempty"`
 }
 
 // Result is one serving run's measured trajectory point.
@@ -208,7 +233,21 @@ type session struct {
 	id     int
 	stream []workload.Op
 	hists  map[workload.OpKind]*histogram
-	err    error
+	// amort accumulates, per buffered-op kind, the total sync latency
+	// apportioned back to ops of that kind (see OpStats.SyncAmortizedNS).
+	amort map[workload.OpKind]int64
+	err   error
+}
+
+// buffered reports whether an op kind's device work is deferred to the
+// next sync (its apply-time latency is ~0 and the flush cost should be
+// attributed back to it).
+func buffered(k workload.OpKind) bool {
+	switch k {
+	case workload.OpCreate, workload.OpWrite, workload.OpRename, workload.OpDelete:
+		return true
+	}
+	return false
 }
 
 // sessionSeed derives session i's RNG seed from the run seed.
@@ -262,6 +301,7 @@ func Run(cfg Config) (Result, error) {
 			FileBlocks: cfg.FileBlocks,
 			Ops:        ops,
 			Prefix:     fmt.Sprintf("s%03d", i),
+			Affinity:   uint8(i % cfg.AffinityClasses),
 			CreateW:    def.CreateW,
 			AppendW:    def.AppendW,
 			ReadW:      def.ReadW,
@@ -276,6 +316,7 @@ func Run(cfg Config) (Result, error) {
 			id:     i,
 			stream: mix.Generate(sim.NewRNG(sessionSeed(cfg.Seed, i))),
 			hists:  make(map[workload.OpKind]*histogram),
+			amort:  make(map[workload.OpKind]int64),
 		}
 	}
 
@@ -286,24 +327,46 @@ func Run(cfg Config) (Result, error) {
 		go func(s *session) {
 			defer wg.Done()
 			a := workload.NewApplier(fs)
+			// pending counts this session's buffered ops per kind since
+			// its last sync; each sync's latency is apportioned back over
+			// them (the generated stream always ends with a sync, so no
+			// buffered op goes unattributed).
+			pending := make(map[workload.OpKind]uint64)
 			for _, op := range s.stream {
 				t0 := clock.Now()
 				if err := a.Apply(op); err != nil {
 					s.err = fmt.Errorf("serve: session %d: %w", s.id, err)
 					return
 				}
+				lat := clock.Now() - t0
 				h := s.hists[op.Kind]
 				if h == nil {
 					h = &histogram{}
 					s.hists[op.Kind] = h
 				}
-				h.record(clock.Now() - t0)
+				h.record(lat)
+				switch {
+				case op.Kind == workload.OpSync:
+					var covered uint64
+					for _, c := range pending {
+						covered += c
+					}
+					if covered > 0 {
+						for k, c := range pending {
+							s.amort[k] += int64(lat) * int64(c) / int64(covered)
+							delete(pending, k)
+						}
+					}
+				case buffered(op.Kind):
+					pending[op.Kind]++
+				}
 			}
 		}(s)
 	}
 	wg.Wait()
 
 	merged := make(map[workload.OpKind]*histogram)
+	amortTotal := make(map[workload.OpKind]int64)
 	var total uint64
 	for _, s := range sessions {
 		if s.err != nil {
@@ -318,6 +381,9 @@ func Run(cfg Config) (Result, error) {
 			m.merge(h)
 			total += h.count
 		}
+		for k, ns := range s.amort {
+			amortTotal[k] += ns
+		}
 	}
 
 	res := Result{
@@ -331,11 +397,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	for k, h := range merged {
 		res.PerOp[k.String()] = OpStats{
-			Count:   h.count,
-			P50NS:   int64(h.quantile(0.50)),
-			P99NS:   int64(h.quantile(0.99)),
-			WorstNS: int64(h.worst()),
-			MeanNS:  int64(h.mean()),
+			Count:           h.count,
+			P50NS:           int64(h.quantile(0.50)),
+			P99NS:           int64(h.quantile(0.99)),
+			WorstNS:         int64(h.worst()),
+			MeanNS:          int64(h.mean()),
+			SyncAmortizedNS: amortTotal[k] / int64(h.count),
 		}
 	}
 	st := fs.Stats()

@@ -59,6 +59,18 @@
 // Sync); reads take the FS metadata lock shared and proceed
 // concurrently with the memory-buffered append path.
 //
+// The write path is also fanned: a heat-aware FS keeps one appender —
+// its own frontier and group-commit buffer — per heat-affinity class,
+// and a Sync flushes the per-class runs concurrently on
+// FSOptions.Concurrency worker planes (one batched command per
+// class, slowest-worker virtual time), so hot and cold appends stop
+// serialising through a single frontier. Every class's destination
+// run was fixed when its blocks were buffered, so the on-medium
+// layout is identical for any worker count; only the virtual time
+// changes. The journal's summary record still commits last, at the
+// affinity-0 frontier, after every other class's data it acks is on
+// the medium — see the durability section below.
+//
 // # Durability: the summary-tail Sync and the roll-forward journal
 //
 // Data is durable — acked — at Sync, and the ack is two-tier. A Sync
@@ -112,6 +124,10 @@
 // goroutine whenever the free pool dips to the watermark, so
 // foreground appends stop paying for whole cleaning passes (see
 // cmd/serosim's e16-background-clean experiment); FS.Close stops it.
+// Latency-critical embedders that want neither inline passes nor a
+// background goroutine can instead drive rounds themselves with
+// FS.CleanStep — one plan/copy/commit round per call, stopping the
+// moment foreground work arrives.
 // Segments the cleaner empties stay gated (SegFreeing) until a
 // covering point (a Sync's summary record or a checkpoint) that no
 // longer references their old contents is on the medium — only then
@@ -344,11 +360,14 @@ type FSOptions struct {
 	// HeatAware toggles the §4.1 clustering and cleaning policies
 	// (default true).
 	HeatAware bool
-	// Concurrency is the cleaner fan-out width: a cleaning pass
-	// relocates its victim segments' live blocks on this many
-	// concurrent device worker planes and costs the slowest worker's
-	// virtual time. 0 defaults to the device's configured width;
-	// negative values clamp to serial.
+	// Concurrency is the FS worker-plane fan-out width: cleaning
+	// passes relocate victim blocks, Sync flushes the
+	// per-affinity-class group-commit buffers, and Mount batches its
+	// checkpoint-slot and inode reads — each on this many concurrent
+	// device worker planes, costing the slowest worker's virtual
+	// time. The on-medium layout is identical for any width; only the
+	// virtual time changes. 0 defaults to the device's configured
+	// width; negative values clamp to serial.
 	Concurrency int
 	// NoLivenessTable disables the checkpointed liveness table, making
 	// every mount rebuild segment liveness with the full inode walk —
@@ -427,6 +446,20 @@ var (
 	// ErrBadCheckpoint.
 	ErrTornCheckpoint = lfs.ErrTornCheckpoint
 )
+
+// FSCleanStats re-exports the per-pass cleaning summary returned by
+// FS.Clean and FS.CleanStep.
+type FSCleanStats = lfs.CleanStats
+
+// ReadCheckpointPrefix reads the block range [base, base+blocks) of a
+// checkpoint region fanned over the device's configured Concurrency
+// and returns the concatenated payloads up to the first unreadable
+// block, plus whether the whole range was readable — the primitive
+// cmd/serofsck uses to probe damaged slots, shared with the mount
+// path's batched slot reads.
+func ReadCheckpointPrefix(d *Device, base uint64, blocks int) ([]byte, bool) {
+	return lfs.ReadablePrefix(d.st.Device(), base, blocks, d.Concurrency())
+}
 
 // FSJournalReport re-exports the summary-chain verification outcome.
 type FSJournalReport = lfs.JournalReport

@@ -6,21 +6,41 @@
 // — it does not re-run the (minutes-long) benchmark; `make bench-serve`
 // regenerates the numbers.
 //
+// With -diff it instead compares two trajectory reports — the ROADMAP-
+// named regression diff, keyed on serve.SchemaV1: runs are matched by
+// session count and every op kind's p50/p99/worst (and throughput) is
+// printed as old → new with the relative change. Either file carrying
+// a different schema is a hard error (exit 1): a diff across schema
+// versions would compare incomparable numbers.
+//
 // Usage:
 //
 //	benchcheck FILE [FILE...]
+//	benchcheck -diff OLD.json NEW.json
 package main
 
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"sero/internal/serve"
 )
 
 func main() {
+	if len(os.Args) >= 2 && os.Args[1] == "-diff" {
+		if len(os.Args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: benchcheck -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := diff(os.Args[2], os.Args[3]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck FILE [FILE...]")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck FILE [FILE...]  |  benchcheck -diff OLD.json NEW.json")
 		os.Exit(2)
 	}
 	bad := 0
@@ -41,4 +61,89 @@ func main() {
 	if bad > 0 {
 		os.Exit(1)
 	}
+}
+
+// load reads one report and enforces the schema key the diff is keyed
+// on.
+func load(path string) (serve.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return serve.Report{}, err
+	}
+	r, err := serve.DecodeReport(data)
+	if err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.Schema != serve.SchemaV1 {
+		return r, fmt.Errorf("%s: schema %q, want %q — refusing to diff across schema versions",
+			path, r.Schema, serve.SchemaV1)
+	}
+	return r, nil
+}
+
+// diff prints the per-kind latency and throughput deltas between two
+// same-schema trajectory reports, matching runs by session count.
+func diff(oldPath, newPath string) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldRuns := make(map[int]serve.Result, len(oldRep.Runs))
+	for _, run := range oldRep.Runs {
+		oldRuns[run.Config.Sessions] = run
+	}
+	for _, nr := range newRep.Runs {
+		or, ok := oldRuns[nr.Config.Sessions]
+		if !ok {
+			fmt.Printf("sessions=%d: only in %s\n", nr.Config.Sessions, newPath)
+			continue
+		}
+		delete(oldRuns, nr.Config.Sessions)
+		fmt.Printf("sessions=%d: throughput %11.0f → %11.0f ops/vsec  %+.1f%%\n",
+			nr.Config.Sessions, or.ThroughputOpsPerSec, nr.ThroughputOpsPerSec,
+			pct(or.ThroughputOpsPerSec, nr.ThroughputOpsPerSec))
+		kinds := make([]string, 0, len(nr.PerOp))
+		for k := range nr.PerOp {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			ns := nr.PerOp[k]
+			ost, ok := or.PerOp[k]
+			if !ok {
+				fmt.Printf("  %-8s only in %s\n", k, newPath)
+				continue
+			}
+			fmt.Printf("  %-8s p50 %s  p99 %s  worst %s\n",
+				k, span(ost.P50NS, ns.P50NS), span(ost.P99NS, ns.P99NS), span(ost.WorstNS, ns.WorstNS))
+		}
+	}
+	sessions := make([]int, 0, len(oldRuns))
+	for s := range oldRuns {
+		sessions = append(sessions, s)
+	}
+	sort.Ints(sessions)
+	for _, s := range sessions {
+		fmt.Printf("sessions=%d: only in %s\n", s, oldPath)
+	}
+	return nil
+}
+
+// span renders one old → new nanosecond pair with its relative change.
+func span(oldNS, newNS int64) string {
+	return fmt.Sprintf("%11.3fms → %11.3fms (%+.1f%%)",
+		float64(oldNS)/1e6, float64(newNS)/1e6, pct(float64(oldNS), float64(newNS)))
+}
+
+// pct is the relative change after vs before in percent (0 when the
+// before value is 0).
+func pct(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before * 100
 }
