@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-serve bench-serve-quick benchcheck fuzz docs ci
+.PHONY: all build vet test race bench bench-serve bench-serve-quick benchcheck trace-smoke fuzz docs ci
 
 all: build
 
@@ -54,6 +54,16 @@ bench-serve-quick:
 benchcheck:
 	$(GO) run ./tools/benchcheck BENCH_serving.json
 
+# Observability smoke: a small traced serving run exported as Chrome
+# trace_event JSON, validated by tracecheck (Perfetto-loadable shape,
+# at least one span), plus the in-terminal e20 rendition. Run by
+# `make ci` so the span plumbing — ring buffer, session attribution,
+# Chrome export — is exercised on every change.
+trace-smoke:
+	$(GO) run ./cmd/serocli trace -files 256 -ops 1024 -sessions 2 -out /tmp/sero-trace-smoke.json
+	$(GO) run ./tools/tracecheck /tmp/sero-trace-smoke.json
+	$(GO) run ./cmd/serosim e20-observability >/dev/null
+
 # Short fuzz passes over the image loader (the §5.2 trust boundary),
 # the file-system op stream (checkpoint/acked-data durability), and
 # the roll-forward recovery path (random ops + random crash points;
@@ -64,14 +74,15 @@ fuzz:
 	$(GO) test -run FuzzReplay -fuzz FuzzReplay -fuzztime 20s ./internal/lfs
 
 # Documentation gate: formatting, vet, and a mechanical check that
-# every exported identifier in the public API (package sero) and the
-# file-system core (internal/lfs) carries a doc comment, so `go doc`
-# reads as a complete reference.
+# every exported identifier in the public API (package sero), the
+# file-system core (internal/lfs), the serving tier (internal/serve)
+# and the tracing plane (internal/trace) carries a doc comment, so
+# `go doc` reads as a complete reference.
 docs:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./tools/doccheck . ./internal/lfs ./internal/serve
+	$(GO) run ./tools/doccheck . ./internal/lfs ./internal/serve ./internal/trace
 
 # docs already runs vet, so ci doesn't list it twice.
-ci: build test race docs benchcheck bench-serve-quick
+ci: build test race docs benchcheck bench-serve-quick trace-smoke

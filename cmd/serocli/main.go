@@ -7,6 +7,7 @@
 //
 //	serocli [-blocks N] [-j workers] [-writeback N] [-ckpt-every N] [-clean-watermark N]
 //	serocli bench-serve [-files N] [-ops N] [-sessions LIST] [-out FILE] [...]
+//	serocli trace [-files N] [-ops N] [-sessions N] [-j N] [-buffer N] [-out FILE]
 //
 // Flags (all validated, nonsensical values are rejected rather than
 // silently clamped):
@@ -47,6 +48,20 @@
 //	              the pre-fan-out baseline)
 //	-out FILE     report path (default BENCH_serving.json)
 //
+// The trace subcommand runs one traced serving run and exports the
+// span stream as a Chrome trace_event JSON file loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing: each session and each
+// device worker plane appears as its own named track on the virtual
+// timeline, with per-op lock-wait and device time in the event args.
+// Its flags:
+//
+//	-files N, -ops N, -sessions N, -seed N, -j N
+//	              workload and FS shape (defaults 512 files, 2048 ops,
+//	              4 sessions, seed 42, 4 worker planes)
+//	-buffer N     span-buffer cap (0 = 65536); overflow is counted,
+//	              never blocking
+//	-out FILE     Chrome JSON path (default trace.json)
+//
 // Example invocations:
 //
 //	serocli                                  # defaults, serial
@@ -54,6 +69,7 @@
 //	serocli -j 4 -clean-watermark 8          # cleaning off the foreground lock
 //	serocli bench-serve                      # the committed BENCH_serving.json (~10 min)
 //	serocli bench-serve -files 2048 -ops 4096 -sessions 1,2,4 -out /tmp/b.json
+//	serocli trace -out trace.json           # then open in ui.perfetto.dev
 package main
 
 import (
@@ -63,16 +79,25 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sero"
 	"sero/internal/device"
 	"sero/internal/serve"
+	"sero/internal/trace"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench-serve" {
 		if err := benchServe(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "serocli: bench-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := traceCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "serocli: trace:", err)
 			os.Exit(1)
 		}
 		return
@@ -284,6 +309,51 @@ func benchServe(args []string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("bench-serve: wrote %s (%d runs, schema %s)\n", *out, len(runs), serve.SchemaV1)
+	fmt.Printf("bench-serve: wrote %s (%d runs, schema %s)\n", *out, len(runs), rep.Schema)
+	return nil
+}
+
+// traceCmd runs one traced serving run and writes the span stream as
+// Chrome trace_event JSON.
+func traceCmd(args []string) error {
+	fl := flag.NewFlagSet("trace", flag.ExitOnError)
+	files := fl.Int("files", 512, "total namespace width (files), partitioned over sessions")
+	ops := fl.Int("ops", 2048, "total mix-op budget (population phase on top)")
+	sessions := fl.Int("sessions", 4, "concurrent client sessions")
+	seed := fl.Uint64("seed", 42, "RNG seed deriving every session stream")
+	workers := fl.Int("j", 4, "FS worker-plane fan-out (1 = serial)")
+	buffer := fl.Int("buffer", 0, "span-buffer cap (0 = 65536)")
+	out := fl.String("out", "trace.json", "Chrome trace_event JSON output path")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
+	if *sessions <= 0 || *workers <= 0 {
+		return fmt.Errorf("-sessions and -j must be positive")
+	}
+	if *seed == 0 {
+		return fmt.Errorf("-seed must be nonzero")
+	}
+
+	cfg := serve.DefaultConfig(*sessions, *files, *ops)
+	cfg.Seed = *seed
+	cfg.Concurrency = *workers
+	tr := trace.New(*buffer)
+	res, err := serve.RunTraced(cfg, tr)
+	if err != nil {
+		return err
+	}
+	doc, err := trace.ChromeJSON(tr.Spans(), tr.Dropped())
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d ops over %v of virtual time; %d spans (%d dropped) -> %s\n",
+		res.TotalOps, time.Duration(res.VirtualNS), tr.Len(), tr.Dropped(), *out)
+	fmt.Printf("trace: open it in https://ui.perfetto.dev or chrome://tracing\n")
 	return nil
 }

@@ -60,6 +60,11 @@
 //	              serially (j=1, the single-frontier baseline) vs
 //	              fanned over worker planes up to -j — byte-identical
 //	              layout, slowest-class virtual time
+//	e20-observability  the tracing plane: one traced serving-mix run
+//	              rendered as a per-span-kind text profile, the
+//	              per-session latency decomposition (own device time
+//	              vs lock wait vs queueing), and the counters
+//	              snapshot (re-anchors, fall-backs, stale moves)
 //
 // Example invocations:
 //
@@ -119,6 +124,7 @@ func main() {
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
 		"e14-writepath", "e15-recovery", "e16-background-clean",
 		"e17-mount-scale", "e18-serving", "e19-parallel-write",
+		"e20-observability",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -255,6 +261,12 @@ func run(name string, seed uint64) error {
 		fmt.Print(res.Table())
 	case "e19-parallel-write":
 		res, err := experiments.RunE19(fsFlags.workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+	case "e20-observability":
+		res, err := experiments.RunE20(fsFlags.sessions, seed)
 		if err != nil {
 			return err
 		}

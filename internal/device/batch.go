@@ -3,6 +3,8 @@ package device
 import (
 	"fmt"
 	"sync"
+
+	"sero/internal/trace"
 )
 
 // Batched write-path operations: the write-side counterpart of the
@@ -91,8 +93,9 @@ func (d *Device) MoveGroups(groups [][]BlockMove, workers int) []MoveResult {
 	defer d.gate.RUnlock()
 	planes := make([]*plane, workers)
 	var wg sync.WaitGroup
+	fanBase := int64(d.clock.Now())
 	for w := 0; w < workers; w++ {
-		pl := d.newPlane()
+		pl := d.newPlane(int32(w+1), fanBase)
 		planes[w] = pl
 		wg.Add(1)
 		go func(w int, pl *plane) {
@@ -103,7 +106,7 @@ func (d *Device) MoveGroups(groups [][]BlockMove, workers int) []MoveResult {
 		}(w, pl)
 	}
 	wg.Wait()
-	d.drainPlanes(planes)
+	d.drainPlanes(planes, nil, "move-fanout")
 	return out
 }
 
@@ -210,6 +213,15 @@ type WriteRun struct {
 // own stripe locks with no cross-run ordering. workers <= 0 means the
 // device's configured Concurrency.
 func (d *Device) WriteRunsFanned(runs []WriteRun, workers int) []error {
+	return d.WriteRunsFannedTraced(nil, runs, workers)
+}
+
+// WriteRunsFannedTraced is WriteRunsFanned with the pass's cost — the
+// slowest worker's elapsed virtual time, exactly the shared-clock
+// advance — attributed to task (nil behaves exactly like
+// WriteRunsFanned). The traced lfs Sync path uses it so a sync op's
+// own device time includes its fanned flush.
+func (d *Device) WriteRunsFannedTraced(task *trace.Task, runs []WriteRun, workers int) []error {
 	errs := make([]error, len(runs))
 	if len(runs) == 0 {
 		return errs
@@ -224,8 +236,9 @@ func (d *Device) WriteRunsFanned(runs []WriteRun, workers int) []error {
 	defer d.gate.RUnlock()
 	planes := make([]*plane, workers)
 	var wg sync.WaitGroup
+	fanBase := int64(d.clock.Now())
 	for w := 0; w < workers; w++ {
-		pl := d.newPlane()
+		pl := d.newPlane(int32(w+1), fanBase)
 		planes[w] = pl
 		wg.Add(1)
 		go func(w int, pl *plane) {
@@ -236,7 +249,7 @@ func (d *Device) WriteRunsFanned(runs []WriteRun, workers int) []error {
 		}(w, pl)
 	}
 	wg.Wait()
-	d.drainPlanes(planes)
+	d.drainPlanes(planes, task, "write-fanout")
 	return errs
 }
 
@@ -305,6 +318,7 @@ func (d *Device) ReadBlocksFanned(pbas []uint64, workers int) (bufs [][]byte, er
 	defer d.gate.RUnlock()
 	planes := make([]*plane, 0, workers)
 	var wg sync.WaitGroup
+	fanBase := int64(d.clock.Now())
 	for w := 0; w < workers; w++ {
 		lo, hi := w*per, (w+1)*per
 		if hi > len(pbas) {
@@ -313,7 +327,7 @@ func (d *Device) ReadBlocksFanned(pbas []uint64, workers int) (bufs [][]byte, er
 		if lo >= hi {
 			break
 		}
-		pl := d.newPlane()
+		pl := d.newPlane(int32(len(planes)+1), fanBase)
 		planes = append(planes, pl)
 		wg.Add(1)
 		go func(lo, hi int, pl *plane) {
@@ -324,7 +338,7 @@ func (d *Device) ReadBlocksFanned(pbas []uint64, workers int) (bufs [][]byte, er
 		}(lo, hi, pl)
 	}
 	wg.Wait()
-	d.drainPlanes(planes)
+	d.drainPlanes(planes, nil, "read-fanout")
 	return bufs, errs
 }
 

@@ -11,6 +11,7 @@ import (
 	"sero/internal/medium"
 	"sero/internal/probe"
 	"sero/internal/sim"
+	"sero/internal/trace"
 )
 
 // Coding selects the write-once cell coding used for electrically
@@ -159,7 +160,30 @@ type Device struct {
 	// wobs, when set, observes every committed magnetic block write in
 	// commit order — the crash-injection harness's tap point.
 	wobs atomic.Pointer[WriteObserver]
+
+	// tracer, when set, receives virtual-time spans from the write,
+	// read and fan-out paths. Loaded with one atomic read per
+	// instrumented operation; nil (the default) disables tracing
+	// entirely — emission never advances any clock, so traced and
+	// untraced runs are byte-identical in virtual time.
+	tracer atomic.Pointer[trace.Tracer]
 }
+
+// SetTracer installs t as the device's span tracer (nil uninstalls).
+// Safe to call at any time; in-flight operations observe the change at
+// their next span boundary.
+func (d *Device) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		d.tracer.Store(nil)
+		return
+	}
+	d.tracer.Store(t)
+}
+
+// Tracer returns the installed span tracer, or nil when tracing is
+// disabled. Layers above the device (lfs) emit their spans through
+// this, so one SetTracer call wires the whole stack.
+func (d *Device) Tracer() *trace.Tracer { return d.tracer.Load() }
 
 // WriteObserver observes one committed magnetic block write: pba and
 // the 512-byte payload (valid only for the duration of the call; copy
@@ -192,6 +216,18 @@ type plane struct {
 	clock  *sim.Clock
 	stats  *OpStats
 	shared bool
+
+	// track is the plane's trace track id: 0 for the foreground
+	// plane, worker index + 1 for fan-out worker planes.
+	track int32
+	// base maps this plane's private clock onto the shared timeline
+	// for span timestamps: the shared clock's reading when the fan-out
+	// launched. 0 for the foreground plane, whose clock *is* the
+	// shared one.
+	base int64
+	// task, when set, accumulates this plane's charges as the owning
+	// operation's own device time (trace.Task attribution). Nil-safe.
+	task *trace.Task
 }
 
 // charge applies f to the plane's probe array and returns the virtual
@@ -205,7 +241,9 @@ func (pl *plane) charge(d *Device, f func(*probe.Array)) time.Duration {
 	}
 	sw := sim.NewStopwatch(pl.clock)
 	f(pl.arr)
-	return sw.Elapsed()
+	elapsed := sw.Elapsed()
+	pl.task.AddDevice(elapsed)
+	return elapsed
 }
 
 // record applies f to the plane's stats, locking when the plane is the
@@ -219,14 +257,32 @@ func (pl *plane) record(d *Device, f func(*OpStats)) {
 }
 
 // newPlane builds a private verification plane: its own probe array on
-// its own zeroed clock, accumulating into its own stats.
-func (d *Device) newPlane() *plane {
+// its own zeroed clock, accumulating into its own stats. track is the
+// plane's trace track id (worker index + 1) and base the shared
+// clock's reading at fan-out launch, so the plane's spans land on the
+// shared timeline.
+func (d *Device) newPlane(track int32, base int64) *plane {
 	clock := &sim.Clock{}
 	return &plane{
 		arr:   probe.NewArray(d.timing, d.geo, d.med.Params().PitchNM, clock),
 		clock: clock,
 		stats: &OpStats{},
+		track: track,
+		base:  base,
 	}
+}
+
+// fgFor returns the foreground plane to charge an operation on: the
+// shared plane itself when task is nil (the untraced fast path), or a
+// copy of it bound to task, so the operation's charges accumulate into
+// the task's own-device total without touching the shared plane value.
+func (d *Device) fgFor(task *trace.Task) *plane {
+	if task == nil {
+		return &d.fg
+	}
+	pl := d.fg
+	pl.task = task
+	return &pl
 }
 
 // OpStats counts sector-level operations and their virtual-time cost.
@@ -524,10 +580,27 @@ func (d *Device) mwsOn(pl *plane, pba uint64, data []byte) {
 // for every block of the run.
 func (d *Device) writeRunOn(pl *plane, start uint64, blocks [][]byte) {
 	base := d.dotBase(start)
+	tr := d.tracer.Load()
+	var t0, t1 time.Duration
 	elapsed := pl.charge(d, func(a *probe.Array) {
+		// The probe clock is read (never advanced) inside the charge
+		// window so the settle/transfer split lands on the shared
+		// timeline exactly where the charges did.
+		if tr != nil {
+			t0 = pl.clock.Now()
+		}
 		a.ChargeWriteSetup()
+		if tr != nil {
+			t1 = pl.clock.Now()
+		}
 		a.ChargeMagneticWrite(d.chargeIndex(base), len(blocks)*DotsPerBlock)
 	})
+	if tr != nil {
+		tr.Emit(trace.Span{Name: "settle", Cat: "device", Track: pl.track, Session: -1,
+			Start: pl.base + int64(t0), Dur: int64(t1 - t0), V1: int64(len(blocks)), V2: int64(start)})
+		tr.Emit(trace.Span{Name: "write", Cat: "device", Track: pl.track, Session: -1,
+			Start: pl.base + int64(t1), Dur: int64(t0+elapsed) - int64(t1), V1: int64(len(blocks)), V2: int64(start)})
+	}
 	for i, data := range blocks {
 		pba := start + uint64(i)
 		f := Frame{PBA: pba, Flags: FlagData}
@@ -555,6 +628,14 @@ func (d *Device) writeRunOn(pl *plane, start uint64, blocks [][]byte) {
 // whole run, and the frames then stream. Every target block is checked
 // before the first bit is written, so a refused run writes nothing.
 func (d *Device) WriteBlocks(start uint64, blocks [][]byte) error {
+	return d.WriteBlocksTraced(nil, start, blocks)
+}
+
+// WriteBlocksTraced is WriteBlocks with the command's device charges
+// attributed to task (nil behaves exactly like WriteBlocks) — the
+// entry point the traced lfs paths use so per-op own-device time can
+// be split from queueing.
+func (d *Device) WriteBlocksTraced(task *trace.Task, start uint64, blocks [][]byte) error {
 	if len(blocks) == 0 {
 		return nil
 	}
@@ -581,7 +662,7 @@ func (d *Device) WriteBlocks(start uint64, blocks [][]byte) error {
 			return err
 		}
 	}
-	d.writeRunOn(&d.fg, start, blocks)
+	d.writeRunOn(d.fgFor(task), start, blocks)
 	return nil
 }
 
@@ -591,6 +672,13 @@ func (d *Device) WriteBlocks(start uint64, blocks [][]byte) error {
 // block surfaces as ErrUncorrectable, after which the caller should
 // probe with ERS.
 func (d *Device) MRS(pba uint64) ([]byte, error) {
+	return d.MRSTraced(nil, pba)
+}
+
+// MRSTraced is MRS with the read's device charge attributed to task
+// (nil behaves exactly like MRS) — the entry point the traced lfs read
+// path uses so per-op own-device time can be split from queueing.
+func (d *Device) MRSTraced(task *trace.Task, pba uint64) ([]byte, error) {
 	d.gate.RLock()
 	defer d.gate.RUnlock()
 	if err := d.checkPBA(pba); err != nil {
@@ -602,7 +690,7 @@ func (d *Device) MRS(pba uint64) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, DataBytes)
-	if _, err := d.mrsInto(&d.fg, pba, buf); err != nil {
+	if _, err := d.mrsInto(d.fgFor(task), pba, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -614,9 +702,18 @@ func (d *Device) MRS(pba uint64) ([]byte, error) {
 // magReadCheck.
 func (d *Device) mrsInto(pl *plane, pba uint64, dst []byte) (int, error) {
 	base := d.dotBase(pba)
+	tr := d.tracer.Load()
+	var t0 time.Duration
 	elapsed := pl.charge(d, func(a *probe.Array) {
+		if tr != nil {
+			t0 = pl.clock.Now()
+		}
 		a.ChargeMagneticRead(d.chargeIndex(base), DotsPerBlock)
 	})
+	if tr != nil {
+		tr.Emit(trace.Span{Name: "read", Cat: "device", Track: pl.track, Session: -1,
+			Start: pl.base + int64(t0), Dur: int64(elapsed), V1: 1, V2: int64(pba)})
+	}
 	bits := make([]bool, DotsPerBlock)
 	for i := range bits {
 		bits[i] = d.med.MRB(base + i)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sero/internal/manchester"
+	"sero/internal/trace"
 )
 
 // Line operations (§3 "Heat a line" / "Verify a heated line").
@@ -387,8 +388,9 @@ func (d *Device) VerifyLines(starts []uint64, workers int) []VerifyOutcome {
 	}
 	planes := make([]*plane, workers)
 	var wg sync.WaitGroup
+	fanBase := int64(d.clock.Now())
 	for w := 0; w < workers; w++ {
-		pl := d.newPlane()
+		pl := d.newPlane(int32(w+1), fanBase)
 		planes[w] = pl
 		wg.Add(1)
 		go func(w int, pl *plane) {
@@ -399,7 +401,7 @@ func (d *Device) VerifyLines(starts []uint64, workers int) []VerifyOutcome {
 		}(w, pl)
 	}
 	wg.Wait()
-	d.drainPlanes(planes)
+	d.drainPlanes(planes, nil, "verify-fanout")
 	return out
 }
 
@@ -408,8 +410,12 @@ func (d *Device) VerifyLines(starts []uint64, workers int) []VerifyOutcome {
 // maximum per-worker elapsed virtual time — the parallel-hardware
 // contract shared by VerifyLines and Scan. The advance happens under
 // arrMu so it cannot land inside a foreground operation's stopwatch
-// window and inflate its per-op latency stats.
-func (d *Device) drainPlanes(planes []*plane) {
+// window and inflate its per-op latency stats. The advance is also the
+// fan-out's cost to its owner: it accumulates into task (nil-safe),
+// and when tracing is on a join span named name covers the pass from
+// launch to the slowest worker (name "" suppresses the span for
+// fan-outs whose call sites emit their own).
+func (d *Device) drainPlanes(planes []*plane, task *trace.Task, name string) {
 	var maxElapsed time.Duration
 	for _, pl := range planes {
 		if e := pl.clock.Now(); e > maxElapsed {
@@ -420,6 +426,11 @@ func (d *Device) drainPlanes(planes []*plane) {
 	d.arrMu.Lock()
 	d.clock.Advance(maxElapsed)
 	d.arrMu.Unlock()
+	task.AddDevice(maxElapsed)
+	if tr := d.tracer.Load(); tr != nil && name != "" && len(planes) > 0 {
+		tr.Emit(trace.Span{Name: name, Cat: "device", Track: 0, Session: -1,
+			Start: planes[0].base, Dur: int64(maxElapsed), V1: int64(len(planes))})
+	}
 }
 
 // Lines returns the heated lines known to the device, sorted by start.
@@ -476,10 +487,11 @@ func (d *Device) Scan() (recovered []LineInfo, unparseable []uint64, err error) 
 	results := make([]*scanResult, workers)
 	planes := make([]*plane, workers)
 	var wg sync.WaitGroup
+	fanBase := int64(d.clock.Now())
 	const chunk = 16 // contiguous blocks per stride step
 	for w := 0; w < workers; w++ {
 		res := &scanResult{}
-		pl := d.newPlane()
+		pl := d.newPlane(int32(w+1), fanBase)
 		results[w] = res
 		planes[w] = pl
 		wg.Add(1)
@@ -495,7 +507,7 @@ func (d *Device) Scan() (recovered []LineInfo, unparseable []uint64, err error) 
 		}(w, pl, res)
 	}
 	wg.Wait()
-	d.drainPlanes(planes)
+	d.drainPlanes(planes, nil, "scan-fanout")
 
 	// Surface the lowest-addressed error, deterministically.
 	var firstErr *scanResult

@@ -196,6 +196,8 @@ func (fs *FS) parseTable(buf []byte, imap map[Ino]uint64) ([]liveRef, string) {
 // the slot's jstart names the promise block the first record of the
 // new epoch must land in.
 func (fs *FS) writeCheckpointLocked() error {
+	tr := fs.dev.Tracer()
+	t0 := fs.now()
 	epoch := fs.ckptEpoch + 1
 	// Pick the anchor: the next free block of the affinity-0 appender.
 	// The slot is only reserved — and the chain state only reset —
@@ -293,7 +295,7 @@ func (fs *FS) writeCheckpointLocked() error {
 		blocks[i] = blockBuf
 	}
 	base := uint64((epoch - 1) % 2 * uint64(slot))
-	if err := fs.dev.WriteBlocks(base, blocks); err != nil {
+	if err := fs.dev.WriteBlocksTraced(fs.curTask, base, blocks); err != nil {
 		// Nothing was reserved and the chain state is untouched: the
 		// previous checkpoint and its chain remain authoritative.
 		return fmt.Errorf("lfs: writing checkpoint: %w", err)
@@ -316,6 +318,7 @@ func (fs *FS) writeCheckpointLocked() error {
 	fs.appended = 0
 	fs.clearDeltasLocked()
 	fs.stats.Checkpoints++
+	fs.emitSpan(tr, "checkpoint", t0, int64(needBlocks), int64(epoch))
 	return nil
 }
 

@@ -192,6 +192,8 @@ func (fs *FS) cleanPhased(targetFree int) CleanStats {
 // with it re-held and fs.cleaning clear again.
 func (fs *FS) cleanRoundLocked(targetFree int, cs *CleanStats) bool {
 	fs.setCleaningLocked(true)
+	tr := fs.dev.Tracer()
+	tPlan := fs.now()
 	before := fs.sm.reclaimable()
 	// Incremental batching: a phased round takes at most
 	// cleanBatchSegments victims, then re-locks, commits and
@@ -216,16 +218,23 @@ func (fs *FS) cleanRoundLocked(targetFree int, cs *CleanStats) bool {
 		fs.setCleaningLocked(false)
 		return false
 	}
+	fs.emitSpan(tr, "clean-plan", tPlan, int64(len(plan.groups)), 0)
 	fs.mu.Unlock()
 
 	// Copy phase: fs.mu is released; foreground appends, reads and
 	// syncs interleave with the fanned-out relocation.
+	tCopy := fs.now()
 	results := fs.dev.MoveGroups(plan.groups, plan.workers)
+	fs.emitSpan(tr, "clean-copy", tCopy, int64(len(plan.groups)), int64(plan.workers))
 
 	fs.mu.Lock()
+	tCommit := fs.now()
 	prevCopied := cs.BlocksCopied
+	prevStale := cs.MovesInvalidated
 	ok := fs.commitVictimsLocked(plan, results, cs)
 	fs.stats.CleanerCopied += uint64(cs.BlocksCopied - prevCopied)
+	fs.emitSpan(tr, "clean-commit", tCommit,
+		int64(cs.BlocksCopied-prevCopied), int64(cs.MovesInvalidated-prevStale))
 	// Gross progress without net gain — the round consumed as many
 	// segments for copies and inode rewrites as it reclaimed — or a
 	// commit failure stops the caller rather than letting it thrash.
@@ -248,6 +257,9 @@ func (fs *FS) cleanLocked(targetFree int) CleanStats {
 	fs.setCleaningLocked(true)
 	defer fs.setCleaningLocked(false)
 	fs.stats.CleanerPasses++
+	tr := fs.dev.Tracer()
+	t0 := fs.now()
+	defer func() { fs.emitSpan(tr, "clean-inline", t0, int64(cs.BlocksCopied), 0) }()
 	// Emptied segments sit in SegFreeing until the next checkpoint, so
 	// progress is measured in reclaimable (free + freeing) segments.
 	for fs.sm.reclaimable() < targetFree {

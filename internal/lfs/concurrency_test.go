@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sero/internal/device"
+	"sero/internal/trace"
 )
 
 // TestConcurrentFSStress hammers one FS from 16 goroutines with the
@@ -577,6 +578,46 @@ func benchmarkFSAppend(b *testing.B, writeback int) {
 
 func BenchmarkFSAppendSerial(b *testing.B)  { benchmarkFSAppend(b, 1) }
 func BenchmarkFSAppendBatched(b *testing.B) { benchmarkFSAppend(b, 0) }
+
+// BenchmarkFSAppendBatchedTraced is the batched append benchmark with
+// a live tracer attached — the observability plane's overhead gate.
+// Virtual time must be byte-identical to the untraced run (tracing
+// never advances any clock); wall-clock time must stay within a few
+// percent (the emit path is one atomic fetch-add plus a ring store).
+func BenchmarkFSAppendBatchedTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := Params{
+			SegmentBlocks:    64,
+			CheckpointBlocks: 64,
+			WritebackBlocks:  0,
+			HeatAware:        true,
+			ReserveSegments:  2,
+		}
+		fs := testFS(b, 8192, p)
+		tr := trace.New(trace.DefaultBuffer)
+		fs.Device().SetTracer(tr)
+		ino, err := fs.Create("bench", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const blocks = 192
+		start := fs.Device().Clock().Now()
+		for n := 0; n < blocks; n += 32 {
+			if err := fs.WriteFile(ino, payload(byte(n), 32*device.DataBytes)); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		virt := fs.Device().Clock().Now() - start
+		if tr.Len() == 0 {
+			b.Fatal("tracer captured no spans")
+		}
+		b.ReportMetric(float64(virt.Milliseconds()), "virt-ms")
+		b.ReportMetric(float64(tr.Len())/float64(blocks), "spans/block")
+	}
+}
 
 // benchmarkClean measures one cleaning pass over the standard
 // fragmented population at the given fan-out width.

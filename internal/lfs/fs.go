@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sero/internal/device"
+	"sero/internal/trace"
 )
 
 // Params configures the file system.
@@ -221,6 +222,16 @@ type FS struct {
 	// or full walk), for diagnostics, experiments and tests.
 	mstats MountStats
 
+	// curTask is the per-operation attribution target for device time
+	// charged from the current exclusive section (flushes, journal and
+	// checkpoint writes, inline cleaning). It is valid ONLY while fs.mu
+	// is held exclusively: lockTask sets it, unlockTask clears it, and
+	// any code that releases the lock mid-operation (waitCleanIdleLocked,
+	// the phased cleaner's copy window) must save and restore it around
+	// the gap. Shared-lock paths (Read) must not touch it — they thread
+	// their task explicitly instead (inodeTask, readPBATaskLocked).
+	curTask *trace.Task
+
 	stats Stats
 }
 
@@ -283,6 +294,15 @@ type Stats struct {
 	JournalRecords uint64
 	// JournalBlocks counts log blocks consumed by the journal (incl. jumps).
 	JournalBlocks uint64
+	// JournalReanchors counts summary records whose promised slot was
+	// disconnected from the write frontier (a mid-sync write-back
+	// flushed past it, or the tail sat in an earlier segment), so the
+	// chain re-anchored there with an explicit jump block.
+	JournalReanchors uint64
+	// CheckpointFallbacks counts Syncs that wanted a summary record but
+	// fell back to a full checkpoint because the delta could not be
+	// journaled (errJournalFull: no promise slot, or record too large).
+	CheckpointFallbacks uint64
 }
 
 // New formats a fresh file system on dev.
@@ -396,9 +416,17 @@ func (fs *FS) lowSpaceCleanLocked() {
 // lock); on return either the pool covers need or no pass is in
 // flight (so an inline clean can run).
 func (fs *FS) waitCleanIdleLocked(need int) {
+	// The wait releases fs.mu, so other lock holders run in the gap:
+	// clear fs.curTask before waiting (their device work — e.g. the
+	// phased cleaner's commit — must not attribute to the waiter) and
+	// restore it once the lock is re-held, since a traced holder's
+	// unlockTask will have nil'd it.
+	task := fs.curTask
+	fs.curTask = nil
 	for fs.cleaning && fs.sm.freeSegments() < need {
 		fs.cleanCond.Wait()
 	}
+	fs.curTask = task
 }
 
 // Device returns the underlying device.
@@ -407,11 +435,53 @@ func (fs *FS) Device() *device.Device { return fs.dev }
 // Params returns the configuration in effect.
 func (fs *FS) Params() Params { return fs.p }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters. The snapshot is internally
+// consistent: every mutation of fs.stats happens under the exclusive
+// lock (including the background cleaner's commit window), and the
+// whole struct is copied under one shared acquisition here, so a
+// reader never observes a half-updated pair (e.g. CleanerPasses
+// advanced but CleanerCopied not yet).
 func (fs *FS) Stats() Stats {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	return fs.stats
+}
+
+// lockTask takes fs.mu exclusively on behalf of a traced operation:
+// virtual time spent waiting for the lock is charged to task as
+// lock-wait, and task becomes fs.curTask — the attribution target for
+// device commands issued from this exclusive section. A nil task is
+// the untraced fast path (plain Lock).
+func (fs *FS) lockTask(task *trace.Task) {
+	if task == nil {
+		fs.mu.Lock()
+		return
+	}
+	t0 := fs.now()
+	fs.mu.Lock()
+	task.AddLockWait(fs.now() - t0)
+	fs.curTask = task
+}
+
+// unlockTask clears the attribution target and releases fs.mu.
+// Safe for untraced sections too (curTask is already nil there).
+func (fs *FS) unlockTask() {
+	fs.curTask = nil
+	fs.mu.Unlock()
+}
+
+// emitSpan records an lfs-category foreground span from start to the
+// current virtual time when a tracer is installed; with tr nil it is
+// free. Emission never advances the clock, so traced and untraced
+// runs see byte-identical virtual time.
+func (fs *FS) emitSpan(tr *trace.Tracer, name string, start time.Duration, v1, v2 int64) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(trace.Span{
+		Name: name, Cat: "lfs", Track: 0, Session: -1,
+		Start: int64(start), Dur: int64(fs.now() - start), V1: v1, V2: v2,
+	})
 }
 
 // now returns the device's virtual time.
@@ -419,8 +489,15 @@ func (fs *FS) now() time.Duration { return fs.dev.Clock().Now() }
 
 // Create makes an empty file with the given heat-affinity class.
 func (fs *FS) Create(name string, affinity uint8) (Ino, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	return fs.CreateTraced(nil, name, affinity)
+}
+
+// CreateTraced is Create with per-operation attribution: lock-wait
+// and device time accumulate on task (see trace.Task). Nil task
+// behaves exactly like Create.
+func (fs *FS) CreateTraced(task *trace.Task, name string, affinity uint8) (Ino, error) {
+	fs.lockTask(task)
+	defer fs.unlockTask()
 	if name == "" {
 		return 0, errors.New("lfs: empty file name")
 	}
@@ -443,8 +520,14 @@ func (fs *FS) Create(name string, affinity uint8) (Ino, error) {
 // Renaming a heated file is allowed: the name lives in the directory,
 // not inside the tamper-evident line.
 func (fs *FS) Rename(oldName, newName string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	return fs.RenameTraced(nil, oldName, newName)
+}
+
+// RenameTraced is Rename with per-operation attribution; nil task
+// behaves exactly like Rename.
+func (fs *FS) RenameTraced(task *trace.Task, oldName, newName string) error {
+	fs.lockTask(task)
+	defer fs.unlockTask()
 	if newName == "" {
 		return errors.New("lfs: empty file name")
 	}
@@ -529,7 +612,13 @@ func (fs *FS) dropInode(ino Ino) {
 // miss. Caller holds fs.mu (read or write); two concurrent readers
 // may both load the same inode, in which case the later store wins —
 // both copies are identical, freshly parsed from the same block.
-func (fs *FS) inode(ino Ino) (*Inode, error) {
+func (fs *FS) inode(ino Ino) (*Inode, error) { return fs.inodeTask(nil, ino) }
+
+// inodeTask is inode with explicit device-time attribution. The task
+// is threaded as a parameter — not read from fs.curTask — because this
+// runs under the shared lock on the read path, where curTask belongs
+// to whatever exclusive section ran last.
+func (fs *FS) inodeTask(task *trace.Task, ino Ino) (*Inode, error) {
 	if in, ok := fs.cachedInode(ino); ok {
 		return in, nil
 	}
@@ -537,7 +626,7 @@ func (fs *FS) inode(ino Ino) (*Inode, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: ino %d", ErrNotFound, ino)
 	}
-	data, err := fs.readPBALocked(pba)
+	data, err := fs.readPBATaskLocked(task, pba)
 	if err != nil {
 		return nil, fmt.Errorf("lfs: reading inode %d at %d: %w", ino, pba, err)
 	}
@@ -555,6 +644,12 @@ func (fs *FS) inode(ino Ino) (*Inode, error) {
 // buffers only change under the exclusive lock, so shared holders may
 // copy from them safely.
 func (fs *FS) readPBALocked(pba uint64) ([]byte, error) {
+	return fs.readPBATaskLocked(nil, pba)
+}
+
+// readPBATaskLocked is readPBALocked with the device read charged to
+// task (explicitly threaded — see inodeTask for why not fs.curTask).
+func (fs *FS) readPBATaskLocked(task *trace.Task, pba uint64) ([]byte, error) {
 	if s := fs.sm.segOf(pba); s != nil && len(s.pending) > 0 {
 		lo := s.next - len(s.pending)
 		if off := int(pba - s.start); off >= lo && off < s.next {
@@ -563,15 +658,22 @@ func (fs *FS) readPBALocked(pba uint64) ([]byte, error) {
 			return buf, nil
 		}
 	}
-	return fs.dev.MRS(pba)
+	return fs.dev.MRSTraced(task, pba)
 }
 
 // Write stores data at the given byte offset. Data is buffered until
 // Sync. Writes to heated files fail.
 func (fs *FS) Write(ino Ino, off uint64, data []byte) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	in, err := fs.inode(ino)
+	return fs.WriteTraced(nil, ino, off, data)
+}
+
+// WriteTraced is Write with per-operation attribution (lock-wait plus
+// any read-modify-write device reads); nil task behaves exactly like
+// Write.
+func (fs *FS) WriteTraced(task *trace.Task, ino Ino, off uint64, data []byte) error {
+	fs.lockTask(task)
+	defer fs.unlockTask()
+	in, err := fs.inodeTask(fs.curTask, ino)
 	if err != nil {
 		return err
 	}
@@ -601,7 +703,7 @@ func (fs *FS) Write(ino Ino, off uint64, data []byte) error {
 			// PBA 0 is the hole sentinel — block 0 is always the
 			// checkpoint, so no file block ever lives there.
 			if blk < len(in.Blocks) && in.Blocks[blk] != 0 && (inner != 0 || n != device.DataBytes) {
-				old, rerr := fs.readPBALocked(in.Blocks[blk])
+				old, rerr := fs.readPBATaskLocked(fs.curTask, in.Blocks[blk])
 				if rerr == nil {
 					copy(buf, old)
 				}
@@ -639,9 +741,24 @@ func (fs *FS) WriteFile(ino Ino, data []byte) error {
 // shared, so they proceed concurrently with each other and with the
 // memory-buffered append path.
 func (fs *FS) Read(ino Ino, off uint64, p []byte) (int, error) {
-	fs.mu.RLock()
+	return fs.ReadTraced(nil, ino, off, p)
+}
+
+// ReadTraced is Read with per-operation attribution: time spent
+// acquiring the shared lock is charged as lock-wait and device reads
+// as device time. The task is threaded explicitly through the read
+// path (never via fs.curTask, which belongs to exclusive sections);
+// nil behaves exactly like Read.
+func (fs *FS) ReadTraced(task *trace.Task, ino Ino, off uint64, p []byte) (int, error) {
+	if task != nil {
+		t0 := fs.now()
+		fs.mu.RLock()
+		task.AddLockWait(fs.now() - t0)
+	} else {
+		fs.mu.RLock()
+	}
 	defer fs.mu.RUnlock()
-	in, err := fs.inode(ino)
+	in, err := fs.inodeTask(task, ino)
 	if err != nil {
 		return 0, err
 	}
@@ -664,7 +781,7 @@ func (fs *FS) Read(ino Ino, off uint64, p []byte) (int, error) {
 		if buf, ok := fs.dirty[ino][blk]; ok {
 			src = buf
 		} else if blk < len(in.Blocks) && in.Blocks[blk] != 0 {
-			data, rerr := fs.readPBALocked(in.Blocks[blk])
+			data, rerr := fs.readPBATaskLocked(task, in.Blocks[blk])
 			if rerr != nil {
 				return read, fmt.Errorf("lfs: reading block %d of ino %d: %w", blk, ino, rerr)
 			}
@@ -693,13 +810,19 @@ func (fs *FS) ReadFile(ino Ino) ([]byte, error) {
 // implies writing the inode, which will be tamper-evident"); their
 // space is permanently read-only anyway.
 func (fs *FS) Delete(name string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	return fs.DeleteTraced(nil, name)
+}
+
+// DeleteTraced is Delete with per-operation attribution; nil task
+// behaves exactly like Delete.
+func (fs *FS) DeleteTraced(task *trace.Task, name string) error {
+	fs.lockTask(task)
+	defer fs.unlockTask()
 	ino, ok := fs.dir[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	in, err := fs.inode(ino)
+	in, err := fs.inodeTask(fs.curTask, ino)
 	if err != nil {
 		return err
 	}
@@ -750,7 +873,7 @@ func (fs *FS) flushSegment(seg *segment) error {
 		return nil
 	}
 	start := seg.start + uint64(seg.next-len(seg.pending))
-	if err := fs.dev.WriteBlocks(start, seg.pending); err != nil {
+	if err := fs.dev.WriteBlocksTraced(fs.curTask, start, seg.pending); err != nil {
 		return fmt.Errorf("lfs: group commit of segment %d: %w", seg.id, err)
 	}
 	fs.stats.GroupCommits++
@@ -796,7 +919,7 @@ func (fs *FS) flushAffinitiesLocked(skipZero bool) error {
 			Blocks: seg.pending,
 		}
 	}
-	errs := fs.dev.WriteRunsFanned(runs, fs.p.Concurrency)
+	errs := fs.dev.WriteRunsFannedTraced(fs.curTask, runs, fs.p.Concurrency)
 	var firstErr error
 	for i, err := range errs {
 		if err != nil {
@@ -881,8 +1004,14 @@ func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 // is due, when no journal space is available, or when the delta is
 // too large for a single record.
 func (fs *FS) Sync() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	return fs.SyncTraced(nil)
+}
+
+// SyncTraced is Sync with per-operation attribution; nil task behaves
+// exactly like Sync.
+func (fs *FS) SyncTraced(task *trace.Task) error {
+	fs.lockTask(task)
+	defer fs.unlockTask()
 	return fs.syncLocked()
 }
 
@@ -966,21 +1095,33 @@ func (fs *FS) syncSpaceNeedLocked() int {
 
 func (fs *FS) syncLocked() error {
 	fs.stats.Syncs++
+	tr := fs.dev.Tracer()
+	t0 := fs.now()
 	if err := fs.ensureSyncSpaceLocked(); err != nil {
 		return err
 	}
+	fs.emitSpan(tr, "sync-space", t0, int64(fs.sm.freeSegments()), 0)
+	t1 := fs.now()
 	if err := fs.flushDirtyLocked(); err != nil {
 		return err
 	}
+	fs.emitSpan(tr, "sync-flush", t1, 0, 0)
+	t2 := fs.now()
 	if fs.checkpointDueLocked() {
-		return fs.syncMetaLocked()
+		err := fs.syncMetaLocked()
+		fs.emitSpan(tr, "sync-meta", t2, 0, 0)
+		return err
 	}
 	err := fs.syncJournalLocked()
 	if errors.Is(err, errJournalFull) {
 		// The delta cannot be journaled (no space, or too large for
 		// one record); a checkpoint captures the same state directly.
-		return fs.syncMetaLocked()
+		fs.stats.CheckpointFallbacks++
+		err = fs.syncMetaLocked()
+		fs.emitSpan(tr, "sync-meta", t2, 0, 1)
+		return err
 	}
+	fs.emitSpan(tr, "sync-journal", t2, 0, 0)
 	return err
 }
 
@@ -1020,7 +1161,7 @@ func (fs *FS) writeFreshInodesLocked() error {
 	}
 	sortInos(fresh)
 	for _, ino := range fresh {
-		in, err := fs.inode(ino)
+		in, err := fs.inodeTask(fs.curTask, ino)
 		if err != nil {
 			return err
 		}
@@ -1056,7 +1197,7 @@ func (fs *FS) syncMetaLocked() error {
 }
 
 func (fs *FS) flushInode(ino Ino) error {
-	in, err := fs.inode(ino)
+	in, err := fs.inodeTask(fs.curTask, ino)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sero/internal/device"
+	"sero/internal/trace"
 )
 
 // Heating files (§4.1 and Fig 3): a heated file occupies one aligned
@@ -35,8 +36,14 @@ type HeatResult struct {
 // first; afterwards the file is read-only and every byte of it is
 // covered by a heated line hash.
 func (fs *FS) HeatFile(name string) (HeatResult, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	return fs.HeatFileTraced(nil, name)
+}
+
+// HeatFileTraced is HeatFile with per-operation attribution (see
+// trace.Task); nil task behaves exactly like HeatFile.
+func (fs *FS) HeatFileTraced(task *trace.Task, name string) (HeatResult, error) {
+	fs.lockTask(task)
+	defer fs.unlockTask()
 	// Wait out any in-flight background pass while space is short: its
 	// commit is about to free segments, and the inline cleans on the
 	// allocation paths below would no-op against it. This must happen

@@ -119,10 +119,16 @@ func Mount(dev *device.Device, p Params) (*FS, error) {
 // order.
 func (fs *FS) rebuildLiveness() error {
 	t := fs.jtrace
+	tr := fs.dev.Tracer()
+	t0 := fs.now()
 	fs.mstats = MountStats{Workers: fs.p.Concurrency}
 	if t.table == nil {
 		fs.mstats.Fallback = t.tableStop
-		return fs.walkLiveness()
+		if err := fs.walkLiveness(); err != nil {
+			return err
+		}
+		fs.emitSpan(tr, "mount-walk", t0, int64(fs.mstats.InodesRead), 0)
+		return nil
 	}
 	// Table-driven: entries of inos the replayed tail touched are
 	// stale — those inos' inodes are re-read from the medium (the
@@ -152,6 +158,7 @@ func (fs *FS) rebuildLiveness() error {
 	fs.mstats.TableMount = true
 	fs.mstats.TableRefs = len(keep)
 	fs.mstats.InodesRead = len(inos)
+	fs.emitSpan(tr, "mount-table", t0, int64(len(keep)), int64(len(inos)))
 	return nil
 }
 
@@ -246,6 +253,8 @@ func (fs *FS) markInodesLive(inos []Ino, now time.Duration) {
 // damaged data is refused as ErrTornCheckpoint — mounting it as a
 // pristine empty FS would silently discard the namespace.
 func (fs *FS) loadAndReplay() error {
+	tr := fs.dev.Tracer()
+	t0 := fs.now()
 	ck, torn := fs.loadBestCheckpoint()
 	if ck == nil {
 		if torn {
@@ -265,6 +274,7 @@ func (fs *FS) loadAndReplay() error {
 	}
 	fs.jtrace = fs.replayChain(ck)
 	fs.appended = uint64(fs.jtrace.appended + fs.jtrace.blocks)
+	fs.emitSpan(tr, "mount-replay", t0, int64(fs.jtrace.records), int64(fs.jtrace.blocks))
 	return nil
 }
 

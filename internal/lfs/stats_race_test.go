@@ -1,0 +1,109 @@
+package lfs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sero/internal/device"
+)
+
+// TestStatsSnapshotMonotonicUnderLoad hammers Stats from 16 concurrent
+// readers while a writer churns the FS with the background cleaner
+// live. Every snapshot must be internally consistent: each cumulative
+// counter is monotone non-decreasing across the snapshots one reader
+// observes, and no snapshot exposes a half-updated pair (a counter
+// from mid-commit paired with a stale sibling would show up as a
+// later snapshot appearing to run backwards). Run under -race this
+// also pins that Stats takes the lock rather than tearing reads.
+func TestStatsSnapshotMonotonicUnderLoad(t *testing.T) {
+	fs, inos := buildChurnFS(t, 6)
+	defer fs.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const readers = 16
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev Stats
+			for !stop.Load() {
+				s := fs.Stats()
+				type pair struct {
+					name     string
+					old, new uint64
+				}
+				for _, p := range []pair{
+					{"BytesWritten", prev.BytesWritten, s.BytesWritten},
+					{"BlocksAppended", prev.BlocksAppended, s.BlocksAppended},
+					{"GroupCommits", prev.GroupCommits, s.GroupCommits},
+					{"CleanerCopied", prev.CleanerCopied, s.CleanerCopied},
+					{"CleanerPasses", prev.CleanerPasses, s.CleanerPasses},
+					{"CleanerStaleMoves", prev.CleanerStaleMoves, s.CleanerStaleMoves},
+					{"Syncs", prev.Syncs, s.Syncs},
+					{"Checkpoints", prev.Checkpoints, s.Checkpoints},
+					{"JournalRecords", prev.JournalRecords, s.JournalRecords},
+					{"JournalReanchors", prev.JournalReanchors, s.JournalReanchors},
+					{"CheckpointFallbacks", prev.CheckpointFallbacks, s.CheckpointFallbacks},
+				} {
+					if p.new < p.old {
+						select {
+						case errs <- p.name:
+						default:
+						}
+						return
+					}
+				}
+				// Cross-counter invariants that a torn pair would break:
+				// every journaled sync implies a sync, every re-anchor a
+				// journal record, every fallback a checkpoint.
+				if s.JournalRecords > 0 && s.Syncs == 0 {
+					select {
+					case errs <- "JournalRecords without Syncs":
+					default:
+					}
+					return
+				}
+				if s.JournalReanchors > s.JournalRecords {
+					select {
+					case errs <- "JournalReanchors > JournalRecords":
+					default:
+					}
+					return
+				}
+				if s.CheckpointFallbacks > s.Checkpoints {
+					select {
+					case errs <- "CheckpointFallbacks > Checkpoints":
+					default:
+					}
+					return
+				}
+				prev = s
+			}
+		}()
+	}
+
+	for churn := 0; churn < 200; churn++ {
+		ino := inos[churn%len(inos)]
+		if err := fs.WriteFile(ino, payload(byte(churn), 16*device.DataBytes)); err != nil {
+			t.Fatalf("churn write %d: %v", churn, err)
+		}
+		if churn%4 == 3 {
+			if err := fs.Sync(); err != nil {
+				t.Fatalf("churn sync %d: %v", churn, err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case name := <-errs:
+		t.Fatalf("snapshot inconsistency: %s", name)
+	default:
+	}
+	if fs.Stats().CleanerPasses == 0 {
+		t.Log("note: cleaner never ran during the churn (invariants still checked)")
+	}
+}

@@ -382,6 +382,8 @@ func (fs *FS) appendRecordLocked(payload []byte) error {
 	if fs.jpromise == 0 {
 		return errJournalFull
 	}
+	tr := fs.dev.Tracer()
+	t0 := fs.now()
 	nb := summaryBlocks(len(payload))
 	if nb+2 > fs.p.SegmentBlocks {
 		return errJournalFull // record + promise can never fit one segment
@@ -418,7 +420,7 @@ func (fs *FS) appendRecordLocked(payload []byte) error {
 		// Nothing appended since the promise was reserved: the record
 		// goes directly into the promise slot. One command.
 		blocks := fs.foldRecord(payload)
-		if err := fs.dev.WriteBlocks(fs.jpromise, blocks); err != nil {
+		if err := fs.dev.WriteBlocksTraced(fs.curTask, fs.jpromise, blocks); err != nil {
 			fs.jpromise = 0
 			return fmt.Errorf("lfs: writing summary record: %w", err)
 		}
@@ -432,7 +434,7 @@ func (fs *FS) appendRecordLocked(payload []byte) error {
 		run = append(run, fs.foldJump(recPos))
 		run = append(run, seg.pending...)
 		run = append(run, fs.foldRecord(payload)...)
-		if err := fs.dev.WriteBlocks(fs.jpromise, run); err != nil {
+		if err := fs.dev.WriteBlocksTraced(fs.curTask, fs.jpromise, run); err != nil {
 			fs.jpromise = 0
 			return fmt.Errorf("lfs: writing summary-tailed group commit: %w", err)
 		}
@@ -448,9 +450,10 @@ func (fs *FS) appendRecordLocked(payload []byte) error {
 		if err := fs.flushSegment(seg); err != nil {
 			return err
 		}
+		fs.stats.JournalReanchors++
 		recPos := seg.start + uint64(seg.next)
 		jump := fs.foldJump(recPos)
-		if err := fs.dev.WriteBlocks(fs.jpromise, [][]byte{jump}); err != nil {
+		if err := fs.dev.WriteBlocksTraced(fs.curTask, fs.jpromise, [][]byte{jump}); err != nil {
 			fs.jpromise = 0
 			return fmt.Errorf("lfs: writing summary jump: %w", err)
 		}
@@ -461,7 +464,7 @@ func (fs *FS) appendRecordLocked(payload []byte) error {
 		fs.jpromise = recPos
 		seg.next++
 		blocks := fs.foldRecord(payload)
-		if err := fs.dev.WriteBlocks(recPos, blocks); err != nil {
+		if err := fs.dev.WriteBlocksTraced(fs.curTask, recPos, blocks); err != nil {
 			fs.jpromise = 0
 			return fmt.Errorf("lfs: writing summary record: %w", err)
 		}
@@ -477,6 +480,7 @@ func (fs *FS) appendRecordLocked(payload []byte) error {
 		pseg.journal = true
 	}
 	fs.stats.JournalRecords++
+	fs.emitSpan(tr, "journal-record", t0, int64(len(payload)), 0)
 	return nil
 }
 

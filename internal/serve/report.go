@@ -6,11 +6,16 @@ import (
 	"io"
 )
 
-// SchemaV1 is the versioned identifier of the serving-trajectory JSON
-// schema. Bump it (and teach Validate both) if the report shape ever
-// changes incompatibly; a future PR diffing BENCH_*.json files keys on
-// it.
+// SchemaV1 is the versioned identifier of the original
+// serving-trajectory JSON schema (no per-session section). Validate
+// still accepts it so recorded v1 trajectories keep gating.
 const SchemaV1 = "sero-serving-bench/v1"
+
+// SchemaV2 extends v1 with the per-session latency decomposition
+// (Result.PerSession: own device time vs lock-wait vs queueing).
+// NewReport stamps v2; Validate accepts both and applies the
+// per-session checks only to v2 reports.
+const SchemaV2 = "sero-serving-bench/v2"
 
 // Report is the BENCH_serving.json trajectory file: one schema tag and
 // one Result per session count. Everything needed to re-run the
@@ -18,7 +23,7 @@ const SchemaV1 = "sero-serving-bench/v1"
 // seed, and the full FS configuration — is embedded in each run's
 // Config.
 type Report struct {
-	// Schema identifies the report format (SchemaV1).
+	// Schema identifies the report format (SchemaV1 or SchemaV2).
 	Schema string `json:"schema"`
 	// Bench names the benchmark family ("serving").
 	Bench string `json:"bench"`
@@ -28,7 +33,7 @@ type Report struct {
 
 // NewReport assembles a versioned report from measured runs.
 func NewReport(runs []Result) Report {
-	return Report{Schema: SchemaV1, Bench: "serving", Runs: runs}
+	return Report{Schema: SchemaV2, Bench: "serving", Runs: runs}
 }
 
 // Encode writes the report as indented JSON.
@@ -56,8 +61,8 @@ func DecodeReport(data []byte) (Report, error) {
 // report whose buffered ops silently lost their flush attribution
 // cannot anchor the regression gate.
 func (r Report) Validate() error {
-	if r.Schema != SchemaV1 {
-		return fmt.Errorf("serve: schema %q, want %q", r.Schema, SchemaV1)
+	if r.Schema != SchemaV1 && r.Schema != SchemaV2 {
+		return fmt.Errorf("serve: schema %q, want %q or %q", r.Schema, SchemaV1, SchemaV2)
 	}
 	if r.Bench != "serving" {
 		return fmt.Errorf("serve: bench %q, want serving", r.Bench)
@@ -98,6 +103,26 @@ func (r Report) Validate() error {
 		}
 		if counted != run.TotalOps {
 			return fmt.Errorf("serve: run %d: per-op counts sum to %d, total says %d", i, counted, run.TotalOps)
+		}
+		if r.Schema == SchemaV2 {
+			if len(run.PerSession) != c.Sessions {
+				return fmt.Errorf("serve: run %d: %d per-session entries for %d sessions",
+					i, len(run.PerSession), c.Sessions)
+			}
+			var sessOps uint64
+			for _, ss := range run.PerSession {
+				sessOps += ss.Ops
+				if ss.TotalNS < 0 || ss.DeviceNS < 0 || ss.LockWaitNS < 0 || ss.QueueNS < 0 {
+					return fmt.Errorf("serve: run %d: session %d has negative latency component", i, ss.Session)
+				}
+				if ss.TotalNS < ss.DeviceNS || ss.TotalNS < ss.LockWaitNS {
+					return fmt.Errorf("serve: run %d: session %d decomposition exceeds total (total=%d device=%d lockwait=%d)",
+						i, ss.Session, ss.TotalNS, ss.DeviceNS, ss.LockWaitNS)
+				}
+			}
+			if sessOps != run.TotalOps {
+				return fmt.Errorf("serve: run %d: per-session ops sum to %d, total says %d", i, sessOps, run.TotalOps)
+			}
 		}
 	}
 	return nil

@@ -33,6 +33,7 @@ import (
 	"sero/internal/lfs"
 	"sero/internal/medium"
 	"sero/internal/sim"
+	"sero/internal/trace"
 	"sero/internal/workload"
 )
 
@@ -200,6 +201,30 @@ type OpStats struct {
 	SyncAmortizedNS int64 `json:"sync_amortized_ns,omitempty"`
 }
 
+// SessionStats decomposes one session's total measured latency into
+// where the virtual time went: DeviceNS is the session's own device
+// commands (charged to its ops as they ran), LockWaitNS is time spent
+// acquiring the FS metadata lock, and QueueNS is the remainder —
+// virtual time the shared clock advanced under *other* sessions' ops
+// while this one was mid-flight, i.e. queueing behind their device
+// work. TotalNS = DeviceNS + LockWaitNS + QueueNS (QueueNS is clamped
+// at 0 against rounding, but the three windows are disjoint by
+// construction, so the identity holds exactly).
+type SessionStats struct {
+	// Session is the session id (shard index).
+	Session int `json:"session"`
+	// Ops counts the session's applied ops, population included.
+	Ops uint64 `json:"ops"`
+	// TotalNS sums the session's per-op shared-clock latencies.
+	TotalNS int64 `json:"total_ns"`
+	// DeviceNS is the session's own device time.
+	DeviceNS int64 `json:"device_ns"`
+	// LockWaitNS is time spent waiting for the FS lock.
+	LockWaitNS int64 `json:"lock_wait_ns"`
+	// QueueNS is time spent queued behind other sessions' device work.
+	QueueNS int64 `json:"queue_ns"`
+}
+
 // Result is one serving run's measured trajectory point.
 type Result struct {
 	// Config echoes the full reproduction configuration, with every
@@ -215,6 +240,9 @@ type Result struct {
 	// PerOp holds the latency summary per op kind, keyed by
 	// workload.OpKind.String().
 	PerOp map[string]OpStats `json:"per_op"`
+	// PerSession decomposes each session's latency (own device time vs
+	// lock-wait vs queueing), ordered by session id.
+	PerSession []SessionStats `json:"per_session"`
 	// BlocksAppended echoes the FS counter explaining the trajectory's
 	// write volume, as do the four counters below.
 	BlocksAppended uint64 `json:"blocks_appended"`
@@ -226,6 +254,17 @@ type Result struct {
 	JournalRecords uint64 `json:"journal_records"`
 	// CleanerPasses counts cleaning passes the run triggered.
 	CleanerPasses uint64 `json:"cleaner_passes"`
+	// BlocksCopied counts live blocks the cleaner moved.
+	BlocksCopied uint64 `json:"blocks_copied"`
+	// JournalReanchors counts explicit jump re-anchors of the summary
+	// chain after a disconnected promise.
+	JournalReanchors uint64 `json:"journal_reanchors"`
+	// CheckpointFallbacks counts Syncs that fell back to a full
+	// checkpoint because the journal window was exhausted.
+	CheckpointFallbacks uint64 `json:"checkpoint_fallbacks"`
+	// MovesInvalidated counts cleaner copies thrown away because the
+	// foreground overwrote the block mid-pass.
+	MovesInvalidated uint64 `json:"moves_invalidated"`
 }
 
 // session is one client's private replay state.
@@ -236,6 +275,9 @@ type session struct {
 	// amort accumulates, per buffered-op kind, the total sync latency
 	// apportioned back to ops of that kind (see OpStats.SyncAmortizedNS).
 	amort map[workload.OpKind]int64
+	// stats is the session's latency decomposition, accumulated op by
+	// op from the per-op trace.Task counters.
+	stats SessionStats
 	err   error
 }
 
@@ -258,7 +300,16 @@ func sessionSeed(seed uint64, i int) uint64 {
 // Run executes one serving run: it formats a quiet FS, generates every
 // session's stream, replays them from Sessions concurrent goroutines
 // and merges the per-session recorders into a Result.
-func Run(cfg Config) (Result, error) {
+func Run(cfg Config) (Result, error) { return RunTraced(cfg, nil) }
+
+// RunTraced is Run with an optional tracer: when tr is non-nil it is
+// installed on the run's device for the duration, the device and lfs
+// layers emit their spans into it, and every applied op additionally
+// emits one "serve" span tagged with its session id (V1 = lock-wait
+// ns, V2 = own device ns — the queueing decomposition's inputs).
+// Virtual time, layout and the Result are byte-identical with or
+// without a tracer; per-session breakdowns are always collected.
+func RunTraced(cfg Config, tr *trace.Tracer) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Result{}, err
@@ -268,6 +319,9 @@ func Run(cfg Config) (Result, error) {
 	mp.ReadNoiseSigma, mp.ResidualInPlaneSignal, mp.ThermalCrosstalk = 0, 0, 0
 	dp.Medium = mp
 	dev := device.New(dp)
+	if tr != nil {
+		dev.SetTracer(tr)
+	}
 	fs, err := lfs.New(dev, lfs.Params{
 		SegmentBlocks:    cfg.SegmentBlocks,
 		CheckpointBlocks: cfg.CheckpointBlocks,
@@ -333,12 +387,28 @@ func Run(cfg Config) (Result, error) {
 			// buffered op goes unattributed).
 			pending := make(map[workload.OpKind]uint64)
 			for _, op := range s.stream {
+				task := &trace.Task{}
 				t0 := clock.Now()
-				if err := a.Apply(op); err != nil {
+				if err := a.ApplyTraced(op, task); err != nil {
 					s.err = fmt.Errorf("serve: session %d: %w", s.id, err)
 					return
 				}
 				lat := clock.Now() - t0
+				lw, devNS := task.LockWaitNS(), task.DeviceNS()
+				queue := int64(lat) - lw - devNS
+				if queue < 0 {
+					queue = 0 // defensive; the windows are disjoint
+				}
+				s.stats.Ops++
+				s.stats.TotalNS += int64(lat)
+				s.stats.DeviceNS += devNS
+				s.stats.LockWaitNS += lw
+				s.stats.QueueNS += queue
+				tr.Emit(trace.Span{
+					Name: op.Kind.String(), Cat: "serve",
+					Track: 0, Session: int32(s.id),
+					Start: int64(t0), Dur: int64(lat), V1: lw, V2: devNS,
+				})
 				h := s.hists[op.Kind]
 				if h == nil {
 					h = &histogram{}
@@ -387,10 +457,15 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res := Result{
-		Config:    cfg,
-		TotalOps:  total,
-		VirtualNS: int64(clock.Now()),
-		PerOp:     make(map[string]OpStats, len(merged)),
+		Config:     cfg,
+		TotalOps:   total,
+		VirtualNS:  int64(clock.Now()),
+		PerOp:      make(map[string]OpStats, len(merged)),
+		PerSession: make([]SessionStats, len(sessions)),
+	}
+	for i, s := range sessions {
+		s.stats.Session = s.id
+		res.PerSession[i] = s.stats
 	}
 	if res.VirtualNS > 0 {
 		res.ThroughputOpsPerSec = float64(total) / (float64(res.VirtualNS) / float64(time.Second))
@@ -411,5 +486,9 @@ func Run(cfg Config) (Result, error) {
 	res.Checkpoints = st.Checkpoints
 	res.JournalRecords = st.JournalRecords
 	res.CleanerPasses = st.CleanerPasses
+	res.BlocksCopied = st.CleanerCopied
+	res.JournalReanchors = st.JournalReanchors
+	res.CheckpointFallbacks = st.CheckpointFallbacks
+	res.MovesInvalidated = st.CleanerStaleMoves
 	return res, nil
 }

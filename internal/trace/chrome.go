@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The Chrome trace_event exporter: spans become complete ("ph":"X")
+// events in the JSON Object Format, loadable in Perfetto or
+// chrome://tracing. Latency planes map to threads — the foreground
+// plane and each fan-out worker plane get their own track, and each
+// serving session gets its own — named via thread_name metadata
+// events. Timestamps are virtual microseconds (the format's unit) with
+// nanosecond precision preserved in the fraction.
+
+// chromeEvent is one trace_event entry. Field order is fixed, map args
+// marshal with sorted keys, and the span order is canonical, so the
+// exported bytes are a pure function of the span contents.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON Object Format document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// chromePID is the single synthetic process every track lives in.
+const chromePID = 1
+
+// chromeTID maps a span to its thread (track) id: serving sessions get
+// 1000+session, device/lfs planes get 1+track.
+func chromeTID(s *Span) int {
+	if s.Cat == "serve" && s.Session >= 0 {
+		return 1000 + int(s.Session)
+	}
+	return 1 + int(s.Track)
+}
+
+// chromeTrackName names a track for its thread_name metadata event.
+func chromeTrackName(tid int) string {
+	switch {
+	case tid >= 1000:
+		return fmt.Sprintf("session %d", tid-1000)
+	case tid == 1:
+		return "foreground"
+	default:
+		return fmt.Sprintf("plane %d", tid-1)
+	}
+}
+
+// usec converts virtual nanoseconds to trace_event microseconds,
+// keeping nanosecond precision in the fraction.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ChromeJSON renders spans as a Chrome trace_event JSON document
+// (Perfetto-loadable). Spans are sorted into the canonical order
+// first, so the output bytes are deterministic for deterministic
+// workloads; dropped is recorded under otherData so a truncated trace
+// is self-describing.
+func ChromeJSON(spans []Span, dropped uint64) ([]byte, error) {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	SortSpans(sorted)
+
+	events := make([]chromeEvent, 0, len(sorted)+8)
+	// thread_name metadata first, in tid order: collect the tids in use.
+	tids := make(map[int]bool)
+	for i := range sorted {
+		tids[chromeTID(&sorted[i])] = true
+	}
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] < order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "sero (virtual time)"},
+	})
+	for _, tid := range order {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"name": chromeTrackName(tid)},
+		})
+		events = append(events, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"sort_index": tid},
+		})
+	}
+	for i := range sorted {
+		s := &sorted[i]
+		dur := usec(s.Dur)
+		args := map[string]any{"v1": s.V1, "v2": s.V2}
+		if s.Session >= 0 {
+			args["session"] = int64(s.Session)
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: usec(s.Start), Dur: &dur,
+			PID: chromePID, TID: chromeTID(s),
+			Args: args,
+		})
+	}
+	doc := chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"clock": "virtual", "droppedSpans": dropped},
+	}
+	return json.MarshalIndent(doc, "", " ")
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// span is a test shorthand.
+func span(name string, start int64) Span {
+	return Span{Name: name, Cat: "test", Session: -1, Start: start, Dur: 10}
+}
+
+func TestEmitAndSpansSorted(t *testing.T) {
+	tr := New(8)
+	tr.Emit(span("b", 30))
+	tr.Emit(span("a", 10))
+	tr.Emit(span("c", 20))
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("Spans len = %d, want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("spans not sorted by start: %v", spans)
+		}
+	}
+	if spans[0].Name != "a" || spans[1].Name != "c" || spans[2].Name != "b" {
+		t.Fatalf("unexpected order: %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+}
+
+func TestOverflowKeepsEarliestAndCounts(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(span("s", int64(i)))
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	// The ring keeps the earliest-reserved spans, so the survivors are
+	// the first four emitted.
+	for i, s := range tr.Spans() {
+		if s.Start != int64(i) {
+			t.Fatalf("span %d has start %d, want %d (earliest must win)", i, s.Start, i)
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	tr := New(2)
+	tr.Emit(span("x", 1))
+	tr.Emit(span("y", 2))
+	tr.Emit(span("z", 3)) // dropped
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d dropped=%d, want 0/0", tr.Len(), tr.Dropped())
+	}
+	tr.Emit(span("w", 4))
+	if got := tr.Spans(); len(got) != 1 || got[0].Name != "w" {
+		t.Fatalf("post-reset spans = %v", got)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(span("x", 1)) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must report empty state")
+	}
+	tr.Reset()
+
+	var task *Task
+	task.AddLockWait(time.Second)
+	task.AddDevice(time.Second)
+	if task.LockWaitNS() != 0 || task.DeviceNS() != 0 {
+		t.Fatal("nil task must report zero")
+	}
+}
+
+func TestTaskAccumulates(t *testing.T) {
+	var task Task
+	task.AddLockWait(3 * time.Millisecond)
+	task.AddLockWait(2 * time.Millisecond)
+	task.AddDevice(7 * time.Millisecond)
+	if got := task.LockWaitNS(); got != 5e6 {
+		t.Fatalf("LockWaitNS = %d, want 5e6", got)
+	}
+	if got := task.DeviceNS(); got != 7e6 {
+		t.Fatalf("DeviceNS = %d, want 7e6", got)
+	}
+}
+
+// TestConcurrentEmit hammers one tracer from many goroutines; under
+// -race this pins the lock-free emit path, and the count must be
+// conserved between the ring and the dropped counter.
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(64)
+	const goroutines, each = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(Span{Name: "c", Track: int32(g), Session: -1, Start: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != goroutines*each {
+		t.Fatalf("kept+dropped = %d, want %d", got, goroutines*each)
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("ring len = %d, want full 64", tr.Len())
+	}
+}
+
+// TestSortCanonical checks the full content order: any permutation of
+// a span set sorts to the same sequence.
+func TestSortCanonical(t *testing.T) {
+	base := []Span{
+		{Name: "a", Cat: "device", Track: 1, Session: -1, Start: 5, Dur: 1},
+		{Name: "a", Cat: "device", Track: 0, Session: -1, Start: 5, Dur: 1},
+		{Name: "b", Cat: "device", Track: 0, Session: -1, Start: 5, Dur: 1},
+		{Name: "a", Cat: "lfs", Track: 0, Session: -1, Start: 5, Dur: 1},
+		{Name: "a", Cat: "device", Track: 0, Session: -1, Start: 3, Dur: 1},
+	}
+	perm := []Span{base[3], base[0], base[4], base[2], base[1]}
+	SortSpans(base)
+	SortSpans(perm)
+	for i := range base {
+		if base[i] != perm[i] {
+			t.Fatalf("sort not canonical at %d: %+v vs %+v", i, base[i], perm[i])
+		}
+	}
+	if base[0].Start != 3 {
+		t.Fatalf("start must dominate the order, got %+v first", base[0])
+	}
+}
+
+func TestChromeJSONShapeAndDeterminism(t *testing.T) {
+	spans := []Span{
+		{Name: "write", Cat: "device", Track: 1, Session: -1, Start: 100, Dur: 50, V1: 4},
+		{Name: "read", Cat: "serve", Track: 0, Session: 2, Start: 200, Dur: 25},
+		{Name: "sync-flush", Cat: "lfs", Track: 0, Session: -1, Start: 300, Dur: 75},
+	}
+	doc1, err := ChromeJSON(spans, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ChromeJSON(spans, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc1, doc2) {
+		t.Fatal("ChromeJSON not byte-deterministic")
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Tid  int      `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(doc1, &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var xs, ms int
+	sawSession := false
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xs++
+			if ev.Ts == nil || ev.Dur == nil || *ev.Ts < 0 || *ev.Dur < 0 {
+				t.Fatalf("X event %q missing/negative ts or dur", ev.Name)
+			}
+			if ev.Name == "read" && ev.Tid == 1000+2 {
+				sawSession = true
+			}
+		case "M":
+			ms++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if xs != len(spans) {
+		t.Fatalf("X events = %d, want %d", xs, len(spans))
+	}
+	if ms == 0 {
+		t.Fatal("no track-naming metadata events")
+	}
+	if !sawSession {
+		t.Fatal("serve span did not land on its 1000+session track")
+	}
+	if got, ok := parsed.OtherData["droppedSpans"].(float64); !ok || got != 3 {
+		t.Fatalf("droppedSpans = %v, want 3", parsed.OtherData["droppedSpans"])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spans := []Span{
+		{Name: "write", Cat: "device", Session: -1, Start: 0, Dur: 100},
+		{Name: "write", Cat: "device", Session: -1, Start: 100, Dur: 300},
+		{Name: "read", Cat: "serve", Session: 1, Start: 0, Dur: 50},
+	}
+	out := Summarize(spans)
+	if !strings.Contains(out, "write") || !strings.Contains(out, "read") {
+		t.Fatalf("summary missing span kinds:\n%s", out)
+	}
+	if !strings.Contains(out, "2") {
+		t.Fatalf("summary missing the write count:\n%s", out)
+	}
+	// Empty input must not panic and should say so.
+	if empty := Summarize(nil); empty == "" {
+		t.Fatal("empty summary should still render a header")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sero/internal/device"
 	"sero/internal/lfs"
 	"sero/internal/sim"
+	"sero/internal/trace"
 )
 
 // Op is one file-system operation produced by a generator.
@@ -99,10 +100,16 @@ func (a *Applier) lookup(op Op) (lfs.Ino, error) {
 }
 
 // Apply executes one op. Errors are wrapped with the op kind and name.
-func (a *Applier) Apply(op Op) error {
+func (a *Applier) Apply(op Op) error { return a.ApplyTraced(op, nil) }
+
+// ApplyTraced executes one op with per-operation attribution: the
+// op's lock-wait and own device time accumulate on task via the FS's
+// Traced entry points (serving tier). A nil task behaves exactly like
+// Apply.
+func (a *Applier) ApplyTraced(op Op, task *trace.Task) error {
 	switch op.Kind {
 	case OpCreate:
-		ino, err := a.fs.Create(op.Name, op.Affinity)
+		ino, err := a.fs.CreateTraced(task, op.Name, op.Affinity)
 		if err != nil {
 			return fmt.Errorf("workload: create %s: %w", op.Name, err)
 		}
@@ -112,7 +119,7 @@ func (a *Applier) Apply(op Op) error {
 		if err != nil {
 			return err
 		}
-		if err := a.fs.Write(ino, op.Offset, op.Data); err != nil {
+		if err := a.fs.WriteTraced(task, ino, op.Offset, op.Data); err != nil {
 			return fmt.Errorf("workload: write %s: %w", op.Name, err)
 		}
 	case OpRead:
@@ -127,11 +134,11 @@ func (a *Applier) Apply(op Op) error {
 		if cap(a.buf) < n {
 			a.buf = make([]byte, n)
 		}
-		if _, err := a.fs.Read(ino, op.Offset, a.buf[:n]); err != nil {
+		if _, err := a.fs.ReadTraced(task, ino, op.Offset, a.buf[:n]); err != nil {
 			return fmt.Errorf("workload: read %s: %w", op.Name, err)
 		}
 	case OpRename:
-		if err := a.fs.Rename(op.Name, op.NewName); err != nil {
+		if err := a.fs.RenameTraced(task, op.Name, op.NewName); err != nil {
 			return fmt.Errorf("workload: rename %s -> %s: %w", op.Name, op.NewName, err)
 		}
 		if ino, ok := a.inos[op.Name]; ok {
@@ -139,16 +146,16 @@ func (a *Applier) Apply(op Op) error {
 			a.inos[op.NewName] = ino
 		}
 	case OpDelete:
-		if err := a.fs.Delete(op.Name); err != nil {
+		if err := a.fs.DeleteTraced(task, op.Name); err != nil {
 			return fmt.Errorf("workload: delete %s: %w", op.Name, err)
 		}
 		delete(a.inos, op.Name)
 	case OpHeat:
-		if _, err := a.fs.HeatFile(op.Name); err != nil {
+		if _, err := a.fs.HeatFileTraced(task, op.Name); err != nil {
 			return fmt.Errorf("workload: heat %s: %w", op.Name, err)
 		}
 	case OpSync:
-		if err := a.fs.Sync(); err != nil {
+		if err := a.fs.SyncTraced(task); err != nil {
 			return fmt.Errorf("workload: sync: %w", err)
 		}
 	default:

@@ -161,6 +161,7 @@ import (
 	"sero/internal/device"
 	"sero/internal/lfs"
 	"sero/internal/medium"
+	"sero/internal/trace"
 )
 
 // Options configures a simulated SERO device.
@@ -193,6 +194,10 @@ const BlockSize = device.DataBytes
 // Device is a simulated tamper-evident SERO store.
 type Device struct {
 	st *core.Store
+	// tracer and sinks hold the active StartTrace state (nil/empty when
+	// tracing is off).
+	tracer *trace.Tracer
+	sinks  []TraceSink
 }
 
 // VerifyReport re-exports the device verification outcome.
@@ -297,6 +302,101 @@ func (d *Device) ElapsedVirtual() time.Duration { return d.st.Device().Clock().N
 // Store exposes the underlying core store for advanced integrations
 // (the archival packages take a *core.Store).
 func (d *Device) Store() *core.Store { return d.st }
+
+// TraceSpan re-exports one virtual-time span (see internal/trace for
+// the span taxonomy).
+type TraceSpan = trace.Span
+
+// Tracer re-exports the bounded lock-free span buffer.
+type Tracer = trace.Tracer
+
+// TraceSink consumes the buffered spans when tracing stops. Spans
+// arrive in the canonical deterministic order.
+type TraceSink func(spans []TraceSpan)
+
+// TraceOptions configures StartTrace.
+type TraceOptions struct {
+	// Buffer caps the number of buffered spans (0 = trace.DefaultBuffer,
+	// 65536). Once full, further spans are dropped and counted — Emit
+	// never blocks and never perturbs virtual time.
+	Buffer int
+	// Sinks are called in order with the collected spans when StopTrace
+	// runs.
+	Sinks []TraceSink
+}
+
+// StartTrace installs a span tracer on the device: from here on the
+// device layer (and any FS built over this device) emits virtual-time
+// spans into a bounded buffer. Tracing never advances the virtual
+// clock — a traced run's latencies are byte-identical to an untraced
+// one — and emission never blocks (a full buffer drops spans and
+// counts them). Returns the tracer, which may be shared with
+// TraceChromeJSON or TraceSummary; a second StartTrace replaces the
+// first.
+func (d *Device) StartTrace(o TraceOptions) *Tracer {
+	d.tracer = trace.New(o.Buffer)
+	d.sinks = o.Sinks
+	d.st.Device().SetTracer(d.tracer)
+	return d.tracer
+}
+
+// StopTrace uninstalls the tracer, feeds the collected spans to the
+// configured sinks, and returns the spans plus how many were dropped
+// to the buffer cap. Call at quiescence (no operations in flight).
+// Without a prior StartTrace it returns (nil, 0).
+func (d *Device) StopTrace() ([]TraceSpan, uint64) {
+	if d.tracer == nil {
+		return nil, 0
+	}
+	d.st.Device().SetTracer(nil)
+	spans, dropped := d.tracer.Spans(), d.tracer.Dropped()
+	for _, sink := range d.sinks {
+		sink(spans)
+	}
+	d.tracer, d.sinks = nil, nil
+	return spans, dropped
+}
+
+// TraceChromeJSON renders spans as a Chrome trace_event JSON document
+// loadable in Perfetto or chrome://tracing: sessions and worker
+// planes appear as named tracks on the virtual timeline. dropped is
+// recorded in the document so a truncated trace is self-describing.
+func TraceChromeJSON(spans []TraceSpan, dropped uint64) ([]byte, error) {
+	return trace.ChromeJSON(spans, dropped)
+}
+
+// TraceSummary renders spans as a compact text profile (per-span-kind
+// counts, totals, means and share bars) — the form serosim's
+// e20-observability experiment prints.
+func TraceSummary(spans []TraceSpan) string { return trace.Summarize(spans) }
+
+// MetricsSnapshot is a point-in-time counters registry spanning the
+// stack: file-system activity (appends, syncs, journal and checkpoint
+// behaviour, cleaning) plus the tracer's drop counter. All counters
+// are cumulative since format/mount.
+type MetricsSnapshot struct {
+	// FS is the file-system counter block (zero value when Metrics was
+	// called without an FS).
+	FS lfs.Stats
+	// TraceDropped counts spans dropped to the trace buffer cap (0 when
+	// tracing is off).
+	TraceDropped uint64
+}
+
+// Metrics snapshots the counters registry. fs may be nil (device-only
+// integrations); the FS block is then zero. The FS snapshot is
+// internally consistent — it is copied under one lock acquisition, so
+// related counters (e.g. CleanerPasses and CleanerCopied) never tear.
+func Metrics(d *Device, fs *FS) MetricsSnapshot {
+	var m MetricsSnapshot
+	if fs != nil {
+		m.FS = fs.Stats()
+	}
+	if d != nil && d.tracer != nil {
+		m.TraceDropped = d.tracer.Dropped()
+	}
+	return m
+}
 
 // Shred physically destroys the data blocks of a heated line by
 // heating every dot (§8 "Deletion"). The data becomes unrecoverable,

@@ -316,3 +316,66 @@ func TestFSJournalAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceFacade drives the public tracing surface: StartTrace must
+// capture device and FS spans, StopTrace must feed sinks and
+// uninstall, the exports must render, and Metrics must snapshot the
+// counters registry consistently.
+func TestTraceFacade(t *testing.T) {
+	d := Open(Options{Blocks: 1024, Quiet: true})
+	fs, err := NewFS(d, FSOptions{SegmentBlocks: 32, HeatAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sunk []TraceSpan
+	d.StartTrace(TraceOptions{Sinks: []TraceSink{func(spans []TraceSpan) { sunk = spans }}})
+
+	ino, err := fs.Create("traced", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ino, bytes.Repeat([]byte("sp"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(ino); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, dropped := d.StopTrace()
+	if len(spans) == 0 || dropped != 0 {
+		t.Fatalf("StopTrace: %d spans, %d dropped", len(spans), dropped)
+	}
+	if len(sunk) != len(spans) {
+		t.Fatalf("sink saw %d spans, StopTrace returned %d", len(sunk), len(spans))
+	}
+	cats := map[string]bool{}
+	for _, s := range spans {
+		cats[s.Cat] = true
+	}
+	if !cats["device"] || !cats["lfs"] {
+		t.Fatalf("missing span categories: %v", cats)
+	}
+	doc, err := TraceChromeJSON(spans, dropped)
+	if err != nil || !bytes.Contains(doc, []byte("traceEvents")) {
+		t.Fatalf("TraceChromeJSON: %v", err)
+	}
+	if sum := TraceSummary(spans); !bytes.Contains([]byte(sum), []byte("sync")) {
+		t.Fatalf("summary missing sync phases:\n%s", sum)
+	}
+
+	m := Metrics(d, fs)
+	if m.FS.Syncs != 1 || m.FS.BlocksAppended == 0 {
+		t.Fatalf("metrics snapshot: %+v", m.FS)
+	}
+	if m.TraceDropped != 0 {
+		t.Fatalf("TraceDropped = %d after StopTrace", m.TraceDropped)
+	}
+
+	// A second StopTrace without StartTrace is a clean no-op.
+	if s2, d2 := d.StopTrace(); s2 != nil || d2 != 0 {
+		t.Fatalf("repeated StopTrace: %d spans, %d dropped", len(s2), d2)
+	}
+}

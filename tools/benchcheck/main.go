@@ -1,17 +1,19 @@
 // Command benchcheck is the recorded-trajectory half of `make ci`: it
 // validates committed BENCH_*.json files against their versioned
-// schema (internal/serve.SchemaV1 for the serving bench), so a stale,
-// truncated, or hand-edited trajectory fails the pipeline instead of
-// silently anchoring a later regression diff. It re-checks shape only
-// — it does not re-run the (minutes-long) benchmark; `make bench-serve`
-// regenerates the numbers.
+// schema (internal/serve.SchemaV1 or SchemaV2 for the serving bench),
+// so a stale, truncated, or hand-edited trajectory fails the pipeline
+// instead of silently anchoring a later regression diff. It re-checks
+// shape only — it does not re-run the (minutes-long) benchmark; `make
+// bench-serve` regenerates the numbers.
 //
 // With -diff it instead compares two trajectory reports — the ROADMAP-
-// named regression diff, keyed on serve.SchemaV1: runs are matched by
-// session count and every op kind's p50/p99/worst (and throughput) is
-// printed as old → new with the relative change. Either file carrying
-// a different schema is a hard error (exit 1): a diff across schema
-// versions would compare incomparable numbers.
+// named regression diff: runs are matched by session count and every
+// op kind's p50/p99/worst (and throughput) is printed as old → new
+// with the relative change. Both v1 and v2 reports are accepted, and
+// a v1-old vs v2-new pair is fine (the upgrade diff); when both runs
+// carry the v2 per-session section, each session's own-device /
+// lock-wait / queueing decomposition is diffed too. Any other schema
+// is a hard error (exit 1).
 //
 // Usage:
 //
@@ -74,9 +76,9 @@ func load(path string) (serve.Report, error) {
 	if err != nil {
 		return r, fmt.Errorf("%s: %v", path, err)
 	}
-	if r.Schema != serve.SchemaV1 {
-		return r, fmt.Errorf("%s: schema %q, want %q — refusing to diff across schema versions",
-			path, r.Schema, serve.SchemaV1)
+	if r.Schema != serve.SchemaV1 && r.Schema != serve.SchemaV2 {
+		return r, fmt.Errorf("%s: schema %q, want %q or %q — refusing to diff an unknown schema",
+			path, r.Schema, serve.SchemaV1, serve.SchemaV2)
 	}
 	return r, nil
 }
@@ -121,6 +123,7 @@ func diff(oldPath, newPath string) error {
 			fmt.Printf("  %-8s p50 %s  p99 %s  worst %s\n",
 				k, span(ost.P50NS, ns.P50NS), span(ost.P99NS, ns.P99NS), span(ost.WorstNS, ns.WorstNS))
 		}
+		diffSessions(or, nr)
 	}
 	sessions := make([]int, 0, len(oldRuns))
 	for s := range oldRuns {
@@ -131,6 +134,35 @@ func diff(oldPath, newPath string) error {
 		fmt.Printf("sessions=%d: only in %s\n", s, oldPath)
 	}
 	return nil
+}
+
+// diffSessions prints the per-session latency-decomposition deltas
+// when both runs carry the v2 section. A v1 old run (no section) is
+// noted once and skipped — the upgrade diff has nothing to compare
+// against; an empty new section means the new file is v1 and there is
+// nothing to print.
+func diffSessions(or, nr serve.Result) {
+	if len(nr.PerSession) == 0 {
+		return
+	}
+	if len(or.PerSession) == 0 {
+		fmt.Printf("  per-session: new in this report (old file predates %s)\n", serve.SchemaV2)
+		return
+	}
+	old := make(map[int]serve.SessionStats, len(or.PerSession))
+	for _, ss := range or.PerSession {
+		old[ss.Session] = ss
+	}
+	for _, ns := range nr.PerSession {
+		os, ok := old[ns.Session]
+		if !ok {
+			fmt.Printf("  session %-3d only in new report\n", ns.Session)
+			continue
+		}
+		fmt.Printf("  session %-3d device %s  lock-wait %s  queue %s\n",
+			ns.Session, span(os.DeviceNS, ns.DeviceNS),
+			span(os.LockWaitNS, ns.LockWaitNS), span(os.QueueNS, ns.QueueNS))
+	}
 }
 
 // span renders one old → new nanosecond pair with its relative change.

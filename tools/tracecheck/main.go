@@ -1,0 +1,106 @@
+// Command tracecheck validates a Chrome trace_event JSON file emitted
+// by `serocli trace` (internal/trace.ChromeJSON) — the observability
+// half of `make trace-smoke`. It checks the shape Perfetto and
+// chrome://tracing require: a top-level traceEvents array, only "M"
+// (metadata) and "X" (complete) events, non-negative microsecond
+// timestamps and durations on every X event, consistent pid/tid
+// fields, and at least one X event (an all-metadata trace means the
+// span ring captured nothing — a wiring bug, not a quiet run).
+//
+// Usage:
+//
+//	tracecheck FILE [FILE...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event is the subset of the trace_event schema the checker inspects.
+// Ts and Dur are decoded as float64 because ChromeJSON writes
+// fractional microseconds.
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// document is the top-level trace file shape. ChromeJSON records the
+// dropped-span count under otherData.droppedSpans.
+type document struct {
+	TraceEvents     []event        `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE [FILE...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// check validates one trace file and prints its event counts.
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("parsing: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("no traceEvents array")
+	}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			// Metadata names tracks; no timing fields required.
+		case "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("event %d (%s): missing or negative ts", i, ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("event %d (%s): missing or negative dur", i, ev.Name)
+			}
+			spans++
+		default:
+			return fmt.Errorf("event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("no X (span) events — trace captured nothing")
+	}
+	dropped := float64(0)
+	if v, ok := doc.OtherData["droppedSpans"].(float64); ok {
+		dropped = v
+	}
+	fmt.Printf("tracecheck: %s ok — %d events (%d spans, %.0f dropped)\n",
+		path, len(doc.TraceEvents), spans, dropped)
+	return nil
+}
