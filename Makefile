@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-serve bench-serve-quick benchcheck trace-smoke fuzz docs ci
+.PHONY: all build vet test race bench bench-serve bench-serve-quick benchcheck trace-smoke attack-campaign attack-soak fuzz docs ci
 
 all: build
 
@@ -36,9 +36,13 @@ bench:
 # throughput, full reproduction config) to BENCH_serving.json. Takes
 # minutes of wall clock — run it when the write/read path changes, then
 # commit the refreshed JSON; `make ci` only re-checks the committed
-# file's schema.
+# file's schema. The second run records the same trajectory with the
+# incremental auditor armed (and a frozen heat population for it to
+# sweep) to BENCH_serving_audit.json, so the audit-on serving tax is
+# part of the recorded record.
 bench-serve:
 	$(GO) run ./cmd/serocli bench-serve -out BENCH_serving.json
+	$(GO) run ./cmd/serocli bench-serve -audit-every 64 -heat-files 64 -out BENCH_serving_audit.json
 
 # A seconds-long smoke pass of the serving benchmark: a small
 # namespace and op budget at 1 and 4 sessions, validated and then
@@ -52,7 +56,7 @@ bench-serve-quick:
 
 # Schema gate over the committed trajectory files.
 benchcheck:
-	$(GO) run ./tools/benchcheck BENCH_serving.json
+	$(GO) run ./tools/benchcheck BENCH_serving.json BENCH_serving_audit.json
 
 # Observability smoke: a small traced serving run exported as Chrome
 # trace_event JSON, validated by tracecheck (Perfetto-loadable shape,
@@ -63,6 +67,25 @@ trace-smoke:
 	$(GO) run ./cmd/serocli trace -files 256 -ops 1024 -sessions 2 -out /tmp/sero-trace-smoke.json
 	$(GO) run ./tools/tracecheck /tmp/sero-trace-smoke.json
 	$(GO) run ./cmd/serosim e20-observability >/dev/null
+
+# The concurrent attack campaign suite under the race detector: the §5
+# tampering matrix raced against live workload sessions, the
+# cooperative cleaner and incremental audit rounds, the
+# detection-latency bound property test, the false-positive soak, and
+# the audit-armed crash sweeps. Iteration counts scale down under the
+# race build tag (the raceDetector const pattern), so this stays a
+# minutes-not-hours gate in `make ci`.
+attack-campaign:
+	$(GO) test -race -run 'TestLiveCampaignDetectsEverything|TestDetectionLatencyBound|TestFalsePositiveSoak|TestCampaignCrashSurvival' ./internal/attack
+	$(GO) test -race -run 'TestCrashMidAuditRoundCleanMount' ./internal/lfs
+
+# The long soak variant: the same no-tampering live mix (traffic +
+# background clean + audit rounds) with an 8x op budget, still
+# asserting zero findings and byte-identical audit-on/audit-off
+# virtual time. Not part of `make ci`; run it when the audit engine or
+# the cleaner changes.
+attack-soak:
+	SERO_ATTACK_SOAK_OPS=16384 $(GO) test -run TestFalsePositiveSoak -count=1 -timeout 30m ./internal/attack
 
 # Short fuzz passes over the image loader (the §5.2 trust boundary),
 # the file-system op stream (checkpoint/acked-data durability), and
@@ -75,14 +98,17 @@ fuzz:
 
 # Documentation gate: formatting, vet, and a mechanical check that
 # every exported identifier in the public API (package sero), the
-# file-system core (internal/lfs), the serving tier (internal/serve)
-# and the tracing plane (internal/trace) carries a doc comment, so
-# `go doc` reads as a complete reference.
+# file-system core (internal/lfs), the serving tier (internal/serve),
+# the tracing plane (internal/trace), the store/audit core
+# (internal/core) and the attack harness (internal/attack) carries a
+# doc comment, so `go doc` reads as a complete reference.
 docs:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./tools/doccheck . ./internal/lfs ./internal/serve ./internal/trace
+	$(GO) run ./tools/doccheck . ./internal/lfs ./internal/serve ./internal/trace ./internal/core ./internal/attack
 
-# docs already runs vet, so ci doesn't list it twice.
-ci: build test race docs benchcheck bench-serve-quick trace-smoke
+# docs already runs vet, so ci doesn't list it twice. race runs the
+# full -race suite; attack-campaign narrows in on the concurrent
+# campaign tests so a failure there is named in the CI log.
+ci: build test race docs benchcheck bench-serve-quick trace-smoke attack-campaign

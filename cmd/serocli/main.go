@@ -46,7 +46,14 @@
 //	              heat-affinity classes the sessions spread over
 //	              (default 4; 1 = every append through one frontier,
 //	              the pre-fan-out baseline)
-//	-out FILE     report path (default BENCH_serving.json)
+//	-audit-every N
+//	              background audit cadence in appended blocks
+//	              (default 0 = continuous verification off; audit work
+//	              is off-clock, the counters report its shadow cost)
+//	-heat-files N extra files frozen into heated lines before the mix
+//	              so the auditor has a population to sweep (default 0)
+//	-out FILE     report path (default BENCH_serving.json; use
+//	              BENCH_serving_audit.json for the audit-armed run)
 //
 // The trace subcommand runs one traced serving run and exports the
 // span stream as a Chrome trace_event JSON file loadable in Perfetto
@@ -69,6 +76,7 @@
 //	serocli -j 4 -clean-watermark 8          # cleaning off the foreground lock
 //	serocli bench-serve                      # the committed BENCH_serving.json (~10 min)
 //	serocli bench-serve -files 2048 -ops 4096 -sessions 1,2,4 -out /tmp/b.json
+//	serocli bench-serve -audit-every 64 -heat-files 64 -out BENCH_serving_audit.json
 //	serocli trace -out trace.json           # then open in ui.perfetto.dev
 package main
 
@@ -238,6 +246,8 @@ func benchServe(args []string) error {
 	cleanWM := fl.Int("clean-watermark", 0, "background-cleaner threshold (0 = foreground-only)")
 	workers := fl.Int("j", 4, "FS worker-plane fan-out (sync flush, cleaner, mount; 1 = serial)")
 	classes := fl.Int("affinity-classes", 4, "heat-affinity classes the sessions spread over (1 = single frontier)")
+	auditEvery := fl.Int("audit-every", 0, "background audit cadence in appended blocks (0 = continuous verification off)")
+	heatFiles := fl.Int("heat-files", 0, "extra files frozen into heated lines before the mix (the audit population; 0 = none)")
 	out := fl.String("out", "BENCH_serving.json", "report output path")
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -257,6 +267,12 @@ func benchServe(args []string) error {
 	}
 	if *classes <= 0 || *classes > 256 {
 		return fmt.Errorf("-affinity-classes must be in [1,256] (got %d)", *classes)
+	}
+	if *auditEvery < 0 {
+		return fmt.Errorf("-audit-every must be 0 (off) or positive (got %d)", *auditEvery)
+	}
+	if *heatFiles < 0 {
+		return fmt.Errorf("-heat-files must be 0 (none) or positive (got %d)", *heatFiles)
 	}
 
 	var runs []serve.Result
@@ -283,6 +299,8 @@ func benchServe(args []string) error {
 		cfg.CleanWatermark = *cleanWM
 		cfg.Concurrency = *workers
 		cfg.AffinityClasses = *classes
+		cfg.AuditEvery = *auditEvery
+		cfg.HeatFiles = *heatFiles
 		fmt.Printf("bench-serve: sessions=%d files=%d ops=%d ...\n", n, *files, *ops)
 		res, err := serve.Run(cfg)
 		if err != nil {
@@ -292,6 +310,10 @@ func benchServe(args []string) error {
 		rd, sy := res.PerOp["read"], res.PerOp["sync"]
 		fmt.Printf("bench-serve: sessions=%d: %d ops, %.1f kops/vsec, read p50/p99 %d/%d ns, sync p99 %d ns\n",
 			n, res.TotalOps, res.ThroughputOpsPerSec/1000, rd.P50NS, rd.P99NS, sy.P99NS)
+		if *auditEvery > 0 {
+			fmt.Printf("bench-serve: sessions=%d: audit steps=%d rounds=%d lines-checked=%d findings=%d shadow=%dns (off-clock)\n",
+				n, res.AuditSteps, res.AuditRounds, res.AuditLinesChecked, res.AuditFindings, res.AuditDeviceNS)
+		}
 	}
 
 	rep := serve.NewReport(runs)

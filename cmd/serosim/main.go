@@ -65,6 +65,11 @@
 //	              per-session latency decomposition (own device time
 //	              vs lock wait vs queueing), and the counters
 //	              snapshot (re-anchors, fall-backs, stale moves)
+//	e21-online-verify  continuous verification: detection latency of a
+//	              random live tamper vs the incremental auditor's
+//	              2*ceil(L/batch) bound across batch sizes, and the
+//	              audit tax on the serving mix (virtual-time identical
+//	              audit-on vs audit-off, shadow device cost reported)
 //
 // Example invocations:
 //
@@ -124,7 +129,7 @@ func main() {
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
 		"e14-writepath", "e15-recovery", "e16-background-clean",
 		"e17-mount-scale", "e18-serving", "e19-parallel-write",
-		"e20-observability",
+		"e20-observability", "e21-online-verify",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -267,6 +272,12 @@ func run(name string, seed uint64) error {
 		fmt.Print(res.Table())
 	case "e20-observability":
 		res, err := experiments.RunE20(fsFlags.sessions, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+	case "e21-online-verify":
+		res, err := experiments.RunE21(seed)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@ import (
 
 	"sero/internal/device"
 	"sero/internal/lfs"
+	"sero/internal/medium"
 	"sero/internal/sim"
 )
 
@@ -95,6 +96,24 @@ func (h *Harness) Victim() string { return h.victim }
 // Line returns the victim's heated line.
 func (h *Harness) Line() device.LineInfo { return h.line }
 
+// FS returns the file system under attack, for campaigns that drive
+// live traffic and audits around the attacks.
+func (h *Harness) FS() *lfs.FS { return h.fs }
+
+// tamper runs f against the raw medium with the stripe locks covering
+// blocks [start, end) held, widened by one block on each side so an
+// electrical write's thermal crosstalk stays inside the locked range.
+// All raw-access attacks go through this so campaigns can run them
+// concurrently with live device traffic without simulator-level data
+// races — the adversary's probe tip is atomic with honest commands at
+// block granularity, exactly like the §5 threat model's raw access.
+func (h *Harness) tamper(start, end uint64, f func(m *medium.Medium)) {
+	if start > 0 {
+		start--
+	}
+	h.fs.Device().TamperRaw(start, end+1, f)
+}
+
 // verifyDetects re-verifies the victim and reports whether tampering
 // is flagged.
 func (h *Harness) verifyDetects() (bool, string) {
@@ -164,11 +183,16 @@ func (h *Harness) AttackMWBHash() Result {
 		Name:        "mwb-hash",
 		Description: "magnetically rewrite the electrically written hash dots",
 	}
-	med := h.fs.Device().Medium()
 	base := int(h.line.Start)*device.DotsPerBlock + device.HeaderBytes*8
-	for i := 0; i < 1024; i++ {
-		med.MWB(base+i, h.rng.Bool())
+	flips := make([]bool, 1024)
+	for i := range flips {
+		flips[i] = h.rng.Bool()
 	}
+	h.tamper(h.line.Start, h.line.Start+1, func(med *medium.Medium) {
+		for i, b := range flips {
+			med.MWB(base+i, b)
+		}
+	})
 	detected, notes := h.verifyDetects()
 	// No effect is the *correct* outcome: the hash still verifies and
 	// the data is intact, so the attack achieved nothing. Classify as
@@ -197,11 +221,12 @@ func (h *Harness) AttackMWBData() Result {
 		forged[i] = byte(h.rng.Uint64())
 	}
 	bits := device.ForgedFrameBits(target, forged)
-	med := h.fs.Device().Medium()
 	base := int(target) * device.DotsPerBlock
-	for i, b := range bits {
-		med.MWB(base+i, b)
-	}
+	h.tamper(target, target+1, func(med *medium.Medium) {
+		for i, b := range bits {
+			med.MWB(base+i, b)
+		}
+	})
 	r.Detected, r.Notes = h.verifyDetects()
 	return r
 }
@@ -213,12 +238,13 @@ func (h *Harness) AttackEWBHash() Result {
 		Name:        "ewb-hash",
 		Description: "heat additional dots of the stored hash (UH/HU → HH)",
 	}
-	med := h.fs.Device().Medium()
 	base := int(h.line.Start)*device.DotsPerBlock + device.HeaderBytes*8
-	for cell := 0; cell < 8; cell++ {
-		med.EWB(base + 2*cell)
-		med.EWB(base + 2*cell + 1)
-	}
+	h.tamper(h.line.Start, h.line.Start+1, func(med *medium.Medium) {
+		for cell := 0; cell < 8; cell++ {
+			med.EWB(base + 2*cell)
+			med.EWB(base + 2*cell + 1)
+		}
+	})
 	r.Detected, r.Notes = h.verifyDetects()
 	return r
 }
@@ -230,12 +256,13 @@ func (h *Harness) AttackEWBData() Result {
 		Name:        "ewb-data",
 		Description: "electrically destroy dots of a heated data block",
 	}
-	med := h.fs.Device().Medium()
 	target := h.line.Start + 3
 	base := int(target) * device.DotsPerBlock
-	for i := 0; i < device.DotsPerBlock; i += 3 {
-		med.EWB(base + i)
-	}
+	h.tamper(target, target+1, func(med *medium.Medium) {
+		for i := 0; i < device.DotsPerBlock; i += 3 {
+			med.EWB(base + i)
+		}
+	})
 	r.Detected, r.Notes = h.verifyDetects()
 	return r
 }
@@ -261,11 +288,12 @@ func (h *Harness) AttackSplitFile() Result {
 	buf := make([]byte, device.DataBytes)
 	copy(buf, rec.Marshal())
 	bits := device.ForgedFrameBits(forgedStart, buf)
-	med := dev.Medium()
 	base := int(forgedStart) * device.DotsPerBlock
-	for i, b := range bits {
-		med.MWB(base+i, b)
-	}
+	h.tamper(forgedStart, forgedStart+1, func(med *medium.Medium) {
+		for i, b := range bits {
+			med.MWB(base+i, b)
+		}
+	})
 	// Does the device now believe there is a line at forgedStart? A
 	// scan only accepts *electrically* written records at aligned
 	// addresses.
@@ -382,7 +410,6 @@ func (h *Harness) AttackCopyMask() Result {
 		Description: "copy the heated file's blocks elsewhere to mask the original",
 	}
 	dev := h.fs.Device()
-	med := dev.Medium()
 	// Earlier attacks in RunAll may already have damaged the line;
 	// this attack is judged by what *it* changes.
 	damagedBefore, _ := h.verifyDetects()
@@ -397,9 +424,11 @@ func (h *Harness) AttackCopyMask() Result {
 		dst := destBase + i
 		bits := device.ForgedFrameBits(dst, data)
 		base := int(dst) * device.DotsPerBlock
-		for j, b := range bits {
-			med.MWB(base+j, b)
-		}
+		h.tamper(dst, dst+1, func(med *medium.Medium) {
+			for j, b := range bits {
+				med.MWB(base+j, b)
+			}
+		})
 	}
 	// The copy cannot reproduce the heated hash binding: verifying a
 	// "line" at the copy's address finds nothing, and the original
@@ -428,19 +457,20 @@ func (h *Harness) AttackClearDirectory() Result {
 		Description: "wipe the FS checkpoint/directory to orphan the heated file",
 	}
 	dev := h.fs.Device()
-	med := dev.Medium()
 	// Raw-wipe the checkpoint region (first segment of the device).
 	garbage := make([]byte, device.DataBytes)
 	for i := range garbage {
 		garbage[i] = byte(h.rng.Uint64())
 	}
-	for pba := uint64(0); pba < 32; pba++ {
-		bits := device.ForgedFrameBits(pba, garbage)
-		base := int(pba) * device.DotsPerBlock
-		for i, b := range bits {
-			med.MWB(base+i, b)
+	h.tamper(0, 32, func(med *medium.Medium) {
+		for pba := uint64(0); pba < 32; pba++ {
+			bits := device.ForgedFrameBits(pba, garbage)
+			base := int(pba) * device.DotsPerBlock
+			for i, b := range bits {
+				med.MWB(base+i, b)
+			}
 		}
-	}
+	})
 	// The access path is gone, but the medium scan recovers the line —
 	// availability is restored, so the attack fails its goal. (When an
 	// earlier attack in the sequence already burnt the record into HH
@@ -484,7 +514,7 @@ func (h *Harness) AttackBulkErase() Result {
 		Description: "degauss the entire medium",
 	}
 	dev := h.fs.Device()
-	dev.Medium().BulkErase()
+	dev.TamperExclusive(func(med *medium.Medium) { med.BulkErase() })
 	// Recovery scan still finds the electrical evidence: either an
 	// intact heated line, or (when an earlier attack already damaged
 	// the record into HH cells) an unparseable electrically written

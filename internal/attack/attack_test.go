@@ -2,27 +2,15 @@ package attack
 
 import (
 	"testing"
-
-	"sero/internal/device"
-	"sero/internal/lfs"
-	"sero/internal/medium"
 )
 
+// testHarness wraps the exported prepared-FS builder with test
+// plumbing; all configuration beyond the defaults lives in
+// NewQuietHarness so campaigns and single-attack tests share one
+// victim environment.
 func testHarness(t testing.TB) *Harness {
 	t.Helper()
-	dp := device.DefaultParams(2048)
-	mp := medium.DefaultParams(2048, device.DotsPerBlock)
-	mp.ReadNoiseSigma = 0
-	mp.ResidualInPlaneSignal = 0
-	mp.ThermalCrosstalk = 0
-	dp.Medium = mp
-	fs, err := lfs.New(device.New(dp), lfs.Params{
-		SegmentBlocks: 32, CheckpointBlocks: 32, HeatAware: true, ReserveSegments: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	h, err := NewHarness(fs, 42)
+	h, err := NewQuietHarness(QuietConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package attack
+
+// raceDetector scales iteration counts down when the race detector's
+// instrumentation slowdown is in effect (PR 7 pattern, shared with
+// internal/lfs).
+const raceDetector = false

@@ -122,7 +122,9 @@ func (a *Allocator) FreeExtents() []Extent {
 
 // Extent is a contiguous run of blocks.
 type Extent struct {
-	Start  uint64
+	// Start is the extent's first PBA.
+	Start uint64
+	// Blocks is the run length.
 	Blocks int
 }
 

@@ -197,14 +197,19 @@ func (r RecoveryReport) Clean() bool {
 // the lifetime of the device, the read/write area gradually shrinks,
 // and the read-only area grows").
 type LifecycleStats struct {
-	TotalBlocks    int
-	FreeBlocks     int
-	HeatedBlocks   int     // blocks inside heated lines
-	ReadOnlyRatio  float64 // heated / total
-	Fragmentation  float64 // allocator fragmentation index
+	// TotalBlocks is the device capacity in blocks.
+	TotalBlocks int
+	// FreeBlocks counts allocatable blocks remaining.
+	FreeBlocks    int
+	HeatedBlocks  int     // blocks inside heated lines
+	ReadOnlyRatio float64 // heated / total
+	Fragmentation float64 // allocator fragmentation index
+	// LargestFreeRun is the longest contiguous free extent in blocks.
 	LargestFreeRun int
-	HeatEpoch      uint64
-	VirtualTime    time.Duration
+	// HeatEpoch counts heat operations performed so far.
+	HeatEpoch uint64
+	// VirtualTime is the device clock at the snapshot.
+	VirtualTime time.Duration
 }
 
 // Lifecycle returns current lifecycle statistics. Heated lines are

@@ -161,6 +161,12 @@ type Device struct {
 	// commit order — the crash-injection harness's tap point.
 	wobs atomic.Pointer[WriteObserver]
 
+	// robs, when set, observes every magnetic block read — the audit
+	// engine's piggyback tap: blocks the cleaner (or any reader) just
+	// pulled off the medium are fresh hints for incremental
+	// verification.
+	robs atomic.Pointer[ReadObserver]
+
 	// tracer, when set, receives virtual-time spans from the write,
 	// read and fan-out paths. Loaded with one atomic read per
 	// instrumented operation; nil (the default) disables tracing
@@ -202,6 +208,24 @@ func (d *Device) SetWriteObserver(fn WriteObserver) {
 		return
 	}
 	d.wobs.Store(&fn)
+}
+
+// ReadObserver observes one magnetic block read by PBA. Observers run
+// under the read block's stripe lock and may be invoked from concurrent
+// worker planes, so they must be internally synchronised and fast; they
+// must not call back into the device. The audit engine installs one to
+// piggyback hash-check scheduling on blocks the cleaner already reads.
+type ReadObserver func(pba uint64)
+
+// SetReadObserver installs fn as the device's read observer (nil
+// uninstalls). Safe to call at any time; in-flight reads observe the
+// change at their next block.
+func (d *Device) SetReadObserver(fn ReadObserver) {
+	if fn == nil {
+		d.robs.Store(nil)
+		return
+	}
+	d.robs.Store(&fn)
 }
 
 // plane is one independent latency-accounting context: a probe array
@@ -387,8 +411,38 @@ func (d *Device) Clock() *sim.Clock { return d.clock }
 
 // Medium exposes the underlying medium for fault injection, forensics
 // oracles and attack simulations. Production code above the device
-// layer must not touch it.
+// layer must not touch it. Mutating the medium while device commands
+// run concurrently is a data race in the simulator (the medium itself
+// is unsynchronised); live-load attack harnesses must go through
+// TamperRaw or TamperExclusive instead.
 func (d *Device) Medium() *medium.Medium { return d.med }
+
+// TamperRaw runs f against the raw medium while holding the stripe
+// locks covering blocks [start, end) — the attack-simulation analogue
+// of physical access with a probe tip: the adversary's raw dot writes
+// are atomic with respect to concurrent device commands at block
+// granularity, but bypass every device-level check and charge no
+// virtual time. Test/attack instrumentation only.
+func (d *Device) TamperRaw(start, end uint64, f func(m *medium.Medium)) {
+	if end <= start {
+		return
+	}
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+	locked := d.lockRange(start, end)
+	defer d.unlockRange(locked)
+	f(d.med)
+}
+
+// TamperExclusive runs f against the raw medium with the whole device
+// quiesced (the gate held exclusively, like Scan) — for whole-medium
+// attacks such as bulk erasure that cannot be bounded to a block
+// range. Test/attack instrumentation only.
+func (d *Device) TamperExclusive(f func(m *medium.Medium)) {
+	d.gate.Lock()
+	defer d.gate.Unlock()
+	f(d.med)
+}
 
 // Concurrency returns the default fan-out width for VerifyLines and
 // Scan.
@@ -725,6 +779,9 @@ func (d *Device) mrsInto(pl *plane, pba uint64, dst []byte) (int, error) {
 		st.MagneticReadNS += elapsed
 		st.CorrectedBytes += uint64(corrected)
 	})
+	if fn := d.robs.Load(); fn != nil {
+		(*fn)(pba)
+	}
 	if err != nil {
 		return corrected, err
 	}

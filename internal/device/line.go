@@ -287,6 +287,22 @@ func (d *Device) VerifyLine(start uint64) (VerifyReport, error) {
 	return d.verifyStart(&d.fg, start)
 }
 
+// VerifyLineOffClock verifies the line starting at start on a private
+// latency plane without advancing the device's shared clock: the model
+// of verification hardware running concurrently with (not ahead of)
+// the foreground data path. The elapsed virtual time the check *would*
+// have cost is returned as shadow time for accounting, and the
+// operation counters are folded into the device stats as usual. This
+// is the incremental background auditor's read primitive — it keeps
+// audited and unaudited runs byte-identical in virtual time while
+// still charging the real stripe-lock contention in wall time.
+func (d *Device) VerifyLineOffClock(start uint64) (VerifyReport, time.Duration, error) {
+	pl := d.newPlane(0, int64(d.clock.Now()))
+	rep, err := d.verifyStart(pl, start)
+	d.mergeStats(pl.stats)
+	return rep, pl.clock.Now(), err
+}
+
 // verifyStart looks up and verifies the line at start on the given
 // plane, taking the gate and stripe locks itself.
 func (d *Device) verifyStart(pl *plane, start uint64) (VerifyReport, error) {

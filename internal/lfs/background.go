@@ -89,17 +89,19 @@ func (fs *FS) cleanerLoop(kick, stop <-chan struct{}, done chan<- struct{}) {
 	}
 }
 
-// Close stops the background cleaner, waiting for any in-flight pass
-// to commit. It does not sync: call Sync (or Checkpoint) first if
-// buffered data must be durable. The FS remains usable after Close —
-// foreground operations and explicit Clean keep working; only the
-// watermark policy is retired. Close is idempotent and safe to call
+// Close stops the background cleaner and the background auditor,
+// waiting for any in-flight pass to commit. It does not sync: call
+// Sync (or Checkpoint) first if buffered data must be durable. The FS
+// remains usable after Close — foreground operations, explicit Clean
+// and AuditStep keep working; only the watermark and audit-cadence
+// policies are retired. Close is idempotent and safe to call
 // concurrently with foreground operations.
 func (fs *FS) Close() error {
 	fs.mu.Lock()
 	first := !fs.closed
 	fs.closed = true
 	stop, done := fs.bgStop, fs.bgDone
+	astop, adone := fs.aStop, fs.aDone
 	fs.mu.Unlock()
 	if stop != nil {
 		if first {
@@ -109,6 +111,12 @@ func (fs *FS) Close() error {
 		// while the goroutine the first one is stopping still issues
 		// device writes.
 		<-done
+	}
+	if astop != nil {
+		if first {
+			close(astop)
+		}
+		<-adone
 	}
 	return nil
 }

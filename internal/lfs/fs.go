@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sero/internal/core"
 	"sero/internal/device"
 	"sero/internal/trace"
 )
@@ -84,6 +85,16 @@ type Params struct {
 	// foreground off the inline path entirely, set the watermark
 	// comfortably above ReserveSegments.
 	CleanWatermark int
+
+	// AuditEvery enables continuous background verification: for every
+	// AuditEvery blocks appended to the log, a background goroutine
+	// runs one incremental audit step (auditBatchLines heated lines
+	// verified under their stripe locks only, off the foreground
+	// clock — see audit.go for the round and detection-bound
+	// contract). 0 (the default) disables the background auditor;
+	// AuditStep remains callable either way. Negative values are
+	// invalid.
+	AuditEvery int
 }
 
 // DefaultParams returns the standard heat-aware configuration.
@@ -192,6 +203,18 @@ type FS struct {
 	bgStop chan struct{}
 	bgDone chan struct{}
 	closed bool
+
+	// Incremental audit state (audit.go): the engine is built lazily
+	// on first use (AuditStep, or the first AuditEvery cadence kick)
+	// and registers itself as the device's read observer. sinceAudit
+	// counts blocks appended since the last cadence kick — distinct
+	// from fs.appended, which resets at checkpoints. The channels
+	// mirror the background cleaner's and are torn down by Close.
+	auditor    *core.IncrementalAuditor
+	sinceAudit uint64
+	aKick      chan struct{}
+	aStop      chan struct{}
+	aDone      chan struct{}
 
 	// Roll-forward journal state (summary.go, replay.go). The summary
 	// chain lives in the data log at the affinity-0 write frontier:
@@ -303,6 +326,27 @@ type Stats struct {
 	// fell back to a full checkpoint because the delta could not be
 	// journaled (errJournalFull: no promise slot, or record too large).
 	CheckpointFallbacks uint64
+	// AuditSteps counts incremental audit steps that verified at least
+	// one line (AuditStep calls and background auditor wakeups).
+	AuditSteps uint64
+	// AuditRounds counts completed audit rounds — full sweeps of the
+	// heated-line population (see audit.go for the round contract).
+	AuditRounds uint64
+	// AuditLinesChecked counts heated-line verifications performed by
+	// the incremental auditor.
+	AuditLinesChecked uint64
+	// AuditFindings counts auditor verifications that reported
+	// tampering.
+	AuditFindings uint64
+	// AuditPiggybacked counts lines whose audit check was pulled
+	// forward by the read-observer piggyback (a cleaner or reader
+	// touched the line's blocks mid-round).
+	AuditPiggybacked uint64
+	// AuditDeviceNS is the shadow virtual time the auditor's checks
+	// would have cost the foreground clock. Audit runs off-clock, so
+	// this never appears in operation latencies — it is the reported
+	// price of the verification hardware.
+	AuditDeviceNS uint64
 }
 
 // New formats a fresh file system on dev.
@@ -350,6 +394,9 @@ func New(dev *device.Device, p Params) (*FS, error) {
 	}
 	if p.CleanWatermark < 0 {
 		return nil, fmt.Errorf("lfs: negative clean watermark %d", p.CleanWatermark)
+	}
+	if p.AuditEvery < 0 {
+		return nil, fmt.Errorf("lfs: negative audit interval %d", p.AuditEvery)
 	}
 	logBlocks := dev.Blocks() - ckpt
 	if logBlocks < 2*p.SegmentBlocks {
@@ -988,6 +1035,13 @@ func (fs *FS) appendBlock(data []byte, affinity uint8) (uint64, error) {
 	seg.modTime = fs.now()
 	fs.stats.BlocksAppended++
 	fs.appended++
+	if fs.p.AuditEvery > 0 {
+		fs.sinceAudit++
+		if fs.sinceAudit >= uint64(fs.p.AuditEvery) {
+			fs.sinceAudit = 0
+			fs.kickAuditorLocked()
+		}
+	}
 	if len(seg.pending) >= fs.p.WritebackBlocks {
 		if err := fs.flushSegment(seg); err != nil {
 			return 0, err

@@ -82,6 +82,18 @@ type Config struct {
 	CleanWatermark int `json:"clean_watermark"`
 	// Concurrency mirrors lfs.Params.Concurrency (0 = serial).
 	Concurrency int `json:"concurrency"`
+	// AuditEvery mirrors lfs.Params.AuditEvery: a background audit
+	// step every this many appended blocks (0 = continuous
+	// verification off). Audit work is off-clock, so the virtual-time
+	// trajectory is identical either way; the audit counters in the
+	// Result report the shadow cost.
+	AuditEvery int `json:"audit_every,omitempty"`
+	// HeatFiles, when positive, freezes this many extra two-block
+	// files (named outside every session's namespace shard) into
+	// heated lines before the sessions start, so continuous
+	// verification has a real line population to sweep during the run.
+	// 0 heats nothing — the serving mix itself never heats files.
+	HeatFiles int `json:"heat_files,omitempty"`
 	// AffinityClasses spreads the sessions' namespaces over this many
 	// heat-affinity classes (session i creates its files in class
 	// i mod AffinityClasses), so a multi-session run exercises the
@@ -160,7 +172,7 @@ func (c Config) withDefaults() (Config, error) {
 		// Population ≈ 2 blocks/file (seed data + inode) plus journal
 		// records; mix ops append at most ~1.5 blocks each with inode
 		// rewrites and churn; leave cleaning headroom.
-		need := c.CheckpointBlocks + 3*c.Files + 4*c.Ops + 8*c.SegmentBlocks
+		need := c.CheckpointBlocks + 3*c.Files + 4*c.Ops + 8*c.SegmentBlocks + 8*c.HeatFiles
 		c.DeviceBlocks = nextPow2(need)
 	}
 	if c.Concurrency <= 0 {
@@ -174,6 +186,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.WritebackBlocks < 0 || c.CleanWatermark < 0 {
 		return c, fmt.Errorf("serve: negative writeback/watermark")
+	}
+	if c.AuditEvery < 0 {
+		return c, fmt.Errorf("serve: negative audit interval %d", c.AuditEvery)
+	}
+	if c.HeatFiles < 0 {
+		return c, fmt.Errorf("serve: negative heat-file count %d", c.HeatFiles)
 	}
 	return c, nil
 }
@@ -265,6 +283,21 @@ type Result struct {
 	// MovesInvalidated counts cleaner copies thrown away because the
 	// foreground overwrote the block mid-pass.
 	MovesInvalidated uint64 `json:"moves_invalidated"`
+	// AuditSteps counts background audit steps the run executed (zero
+	// unless Config.AuditEvery armed continuous verification, as are
+	// the four counters below).
+	AuditSteps uint64 `json:"audit_steps,omitempty"`
+	// AuditRounds counts completed audit rounds (full sweeps of the
+	// heated-line population).
+	AuditRounds uint64 `json:"audit_rounds,omitempty"`
+	// AuditLinesChecked counts line verifications audit steps ran.
+	AuditLinesChecked uint64 `json:"audit_lines_checked,omitempty"`
+	// AuditFindings counts tampered-line reports (expected zero in a
+	// serving benchmark).
+	AuditFindings uint64 `json:"audit_findings,omitempty"`
+	// AuditDeviceNS is the audit's shadow device cost in virtual
+	// nanoseconds — time the sweeps would have cost on-clock.
+	AuditDeviceNS uint64 `json:"audit_device_ns,omitempty"`
 }
 
 // session is one client's private replay state.
@@ -331,11 +364,38 @@ func RunTraced(cfg Config, tr *trace.Tracer) (Result, error) {
 		Concurrency:      cfg.Concurrency,
 		HeatAware:        true,
 		ReserveSegments:  2,
+		AuditEvery:       cfg.AuditEvery,
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	defer fs.Close()
+
+	// Freeze the heated population before any session starts: identical
+	// work whether or not auditing is armed, so the audit-on/audit-off
+	// trajectories stay comparable.
+	for i := 0; i < cfg.HeatFiles; i++ {
+		name := fmt.Sprintf("frozen-%03d", i)
+		ino, err := fs.Create(name, uint8(i%cfg.AffinityClasses))
+		if err == nil {
+			data := make([]byte, 2*device.DataBytes)
+			for j := range data {
+				data[j] = byte(i + 1)
+			}
+			err = fs.WriteFile(ino, data)
+		}
+		if err == nil {
+			_, err = fs.HeatFile(name)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("serve: heat population %d/%d: %w", i, cfg.HeatFiles, err)
+		}
+	}
+	if cfg.HeatFiles > 0 {
+		if err := fs.Sync(); err != nil {
+			return Result{}, fmt.Errorf("serve: heat population sync: %w", err)
+		}
+	}
 
 	// Partition namespace and op budget; the first shards absorb the
 	// remainders so the totals are exact.
@@ -490,5 +550,10 @@ func RunTraced(cfg Config, tr *trace.Tracer) (Result, error) {
 	res.JournalReanchors = st.JournalReanchors
 	res.CheckpointFallbacks = st.CheckpointFallbacks
 	res.MovesInvalidated = st.CleanerStaleMoves
+	res.AuditSteps = st.AuditSteps
+	res.AuditRounds = st.AuditRounds
+	res.AuditLinesChecked = st.AuditLinesChecked
+	res.AuditFindings = st.AuditFindings
+	res.AuditDeviceNS = st.AuditDeviceNS
 	return res, nil
 }

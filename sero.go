@@ -134,6 +134,22 @@
 // may fresh appends reuse them, so a crash-mount never reads recycled
 // blocks, even for a crash in the middle of a background pass.
 //
+// # Continuous verification
+//
+// With FSOptions.AuditEvery set, verification becomes a background
+// service like cleaning: every AuditEvery appended blocks, an
+// incremental auditor verifies a small batch of heated lines — each
+// under only its own striped region locks — in rounds that sweep the
+// whole heated population, so a tamper of any heated line is detected
+// within two rounds. Blocks that the cleaner (or any reader) pulls
+// off the medium pull their lines to the front of the current round
+// (a read-observer piggyback), making recently touched regions the
+// first re-verified. The checks run off the foreground clock:
+// audit-on and audit-off runs are byte-identical in virtual time, and
+// the would-be cost appears as Metrics' AuditDeviceNS shadow counter
+// instead. FS.AuditStep drives the same rounds cooperatively, and
+// serofsck -online audits a mounted, live file system.
+//
 // Virtual time under parallelism is defined as follows. Foreground
 // operations charge the shared device clock, which accumulates the
 // total device work (the serialised equivalent) no matter how many
@@ -485,6 +501,16 @@ type FSOptions struct {
 	// FS.Close to stop the background cleaner; negative values are
 	// rejected.
 	CleanWatermark int
+	// AuditEvery makes verification a background service the way
+	// CleanWatermark does cleaning: every AuditEvery blocks appended
+	// to the log, a background goroutine verifies a small batch of
+	// heated lines off the foreground clock, in rounds that sweep the
+	// whole heated population (detection within two rounds of a
+	// tamper; see FS.AuditStep and Metrics' audit counters). 0 (the
+	// default) disables the cadence — FS.AuditStep can still drive
+	// rounds cooperatively. Call FS.Close to stop the background
+	// auditor; negative values are rejected.
+	AuditEvery int
 }
 
 // fsParams translates FSOptions into lfs parameters (shared by NewFS
@@ -508,6 +534,7 @@ func fsParams(d *Device, o FSOptions) lfs.Params {
 	}
 	p.CleanWatermark = o.CleanWatermark
 	p.NoLivenessTable = o.NoLivenessTable
+	p.AuditEvery = o.AuditEvery
 	return p
 }
 
@@ -550,6 +577,11 @@ var (
 // FSCleanStats re-exports the per-pass cleaning summary returned by
 // FS.Clean and FS.CleanStep.
 type FSCleanStats = lfs.CleanStats
+
+// FSAuditStats re-exports the per-step incremental audit report
+// returned by FS.AuditStep (lines checked, tamper findings, round
+// completion and shadow device time).
+type FSAuditStats = lfs.AuditStats
 
 // ReadCheckpointPrefix reads the block range [base, base+blocks) of a
 // checkpoint region fanned over the device's configured Concurrency
