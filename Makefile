@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-serve bench-serve-quick benchcheck trace-smoke attack-campaign attack-soak fuzz docs ci
+.PHONY: all build vet test race bench bench-serve bench-serve-quick benchcheck trace-smoke attack-campaign attack-soak degraded-campaign fuzz docs ci
 
 all: build
 
@@ -36,12 +36,15 @@ bench:
 # throughput, full reproduction config) to BENCH_serving.json. Takes
 # minutes of wall clock — run it when the write/read path changes, then
 # commit the refreshed JSON; `make ci` only re-checks the committed
-# file's schema. The second run records the same trajectory with the
-# incremental auditor armed (and a frozen heat population for it to
-# sweep) to BENCH_serving_audit.json, so the audit-on serving tax is
-# part of the recorded record.
+# file's schema. The main record sweeps member-device widths 1 and 4
+# (one parity member) at every session count, so the striped array's
+# throughput trajectory is part of the committed record; compare widths
+# with `benchcheck -diff`. The second run records the raw-device
+# trajectory with the incremental auditor armed (and a frozen heat
+# population for it to sweep) to BENCH_serving_audit.json, so the
+# audit-on serving tax is part of the recorded record.
 bench-serve:
-	$(GO) run ./cmd/serocli bench-serve -out BENCH_serving.json
+	$(GO) run ./cmd/serocli bench-serve -devices 1,4 -parity 1 -out BENCH_serving.json
 	$(GO) run ./cmd/serocli bench-serve -audit-every 64 -heat-files 64 -out BENCH_serving_audit.json
 
 # A seconds-long smoke pass of the serving benchmark: a small
@@ -87,14 +90,30 @@ attack-campaign:
 attack-soak:
 	SERO_ATTACK_SOAK_OPS=16384 $(GO) test -run TestFalsePositiveSoak -count=1 -timeout 30m ./internal/attack
 
+# The striped-array resilience suite under the race detector: crash
+# consistency at every replay boundary with and without a member loss,
+# cross-width mount-fingerprint equivalence, the auditor's
+# repair-from-parity arm, the striped serving runs (width scaling,
+# degraded reads, width-1 virtual-time identity), and the serofsck
+# array modes end to end — parity-group scan with per-member findings,
+# online self-healing over a 3/1 array, and online verification over a
+# degraded 4/1 array.
+degraded-campaign:
+	$(GO) test -race -run 'TestCrashConsistencyStripedEveryBoundary|TestAuditorRepairsTamperFromParity|TestMountFingerprintEqualAcrossWidths' ./internal/lfs
+	$(GO) test -race -run 'TestRunStriped|TestRunWidth1MatchesRawDevice' ./internal/serve
+	$(GO) test -race -run 'TestRunArrayParityGroupScan|TestOnlineVerifyArray' ./cmd/serofsck
+
 # Short fuzz passes over the image loader (the §5.2 trust boundary),
-# the file-system op stream (checkpoint/acked-data durability), and
-# the roll-forward recovery path (random ops + random crash points;
-# mount must never error on a torn summary tail).
+# the file-system op stream (checkpoint/acked-data durability), the
+# roll-forward recovery path (random ops + random crash points; mount
+# must never error on a torn summary tail), and the striped variant of
+# the replay fuzzer (same grammar over 1/2/4-member arrays, plus a
+# member loss after every crash when parity covers it).
 fuzz:
 	$(GO) test -run FuzzLoadImage -fuzz FuzzLoadImage -fuzztime 20s .
 	$(GO) test -run FuzzFSOps -fuzz FuzzFSOps -fuzztime 20s ./internal/lfs
-	$(GO) test -run FuzzReplay -fuzz FuzzReplay -fuzztime 20s ./internal/lfs
+	$(GO) test -run 'FuzzReplay$$' -fuzz 'FuzzReplay$$' -fuzztime 20s ./internal/lfs
+	$(GO) test -run FuzzReplayStriped -fuzz FuzzReplayStriped -fuzztime 20s ./internal/lfs
 
 # Documentation gate: formatting, vet, and a mechanical check that
 # every exported identifier in the public API (package sero), the
@@ -109,6 +128,7 @@ docs:
 	$(GO) run ./tools/doccheck . ./internal/lfs ./internal/serve ./internal/trace ./internal/core ./internal/attack
 
 # docs already runs vet, so ci doesn't list it twice. race runs the
-# full -race suite; attack-campaign narrows in on the concurrent
-# campaign tests so a failure there is named in the CI log.
-ci: build test race docs benchcheck bench-serve-quick trace-smoke attack-campaign
+# full -race suite; attack-campaign and degraded-campaign narrow in on
+# the concurrent campaign and array-resilience tests so a failure
+# there is named in the CI log.
+ci: build test race docs benchcheck bench-serve-quick trace-smoke attack-campaign degraded-campaign

@@ -52,6 +52,14 @@
 //	              is off-clock, the counters report its shadow cost)
 //	-heat-files N extra files frozen into heated lines before the mix
 //	              so the auditor has a population to sweep (default 0)
+//	-devices L    comma-separated member-device widths to sweep
+//	              (default "0": the raw single sled; N >= 1 replays the
+//	              same mix over an N-member striped array, so one report
+//	              holds the width trajectory)
+//	-parity N     Reed–Solomon parity members for the striped widths,
+//	              applied per width when it fits (parity < devices) and
+//	              dropped otherwise — a "0,1,4"-style sweep keeps its
+//	              parity-free raw and width-1 points (default 0)
 //	-out FILE     report path (default BENCH_serving.json; use
 //	              BENCH_serving_audit.json for the audit-armed run)
 //
@@ -76,6 +84,7 @@
 //	serocli -j 4 -clean-watermark 8          # cleaning off the foreground lock
 //	serocli bench-serve                      # the committed BENCH_serving.json (~10 min)
 //	serocli bench-serve -files 2048 -ops 4096 -sessions 1,2,4 -out /tmp/b.json
+//	serocli bench-serve -devices 1,4 -parity 1 -out BENCH_serving.json
 //	serocli bench-serve -audit-every 64 -heat-files 64 -out BENCH_serving_audit.json
 //	serocli trace -out trace.json           # then open in ui.perfetto.dev
 package main
@@ -191,7 +200,7 @@ func run(blocks, workers, writeback, ckptEvery, cleanWM int) error {
 	forged := make([]byte, sero.BlockSize)
 	copy(forged, "day-2 transactions never happened")
 	bits := device.ForgedFrameBits(target, forged)
-	med := dev.Store().Device().Medium()
+	med := dev.RawDevice().Medium()
 	base := int(target) * device.DotsPerBlock
 	for i, b := range bits {
 		med.MWB(base+i, b)
@@ -248,6 +257,8 @@ func benchServe(args []string) error {
 	classes := fl.Int("affinity-classes", 4, "heat-affinity classes the sessions spread over (1 = single frontier)")
 	auditEvery := fl.Int("audit-every", 0, "background audit cadence in appended blocks (0 = continuous verification off)")
 	heatFiles := fl.Int("heat-files", 0, "extra files frozen into heated lines before the mix (the audit population; 0 = none)")
+	devicesList := fl.String("devices", "0", "comma-separated member-device widths to sweep (0 = the raw single sled, N >= 1 = an N-member striped array)")
+	parity := fl.Int("parity", 0, "Reed–Solomon parity members for striped widths; applied per width when it fits (parity < devices), 0 otherwise")
 	out := fl.String("out", "BENCH_serving.json", "report output path")
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -274,45 +285,28 @@ func benchServe(args []string) error {
 	if *heatFiles < 0 {
 		return fmt.Errorf("-heat-files must be 0 (none) or positive (got %d)", *heatFiles)
 	}
+	widths, err := parseDevices(*devicesList)
+	if err != nil {
+		return err
+	}
+	if *parity < 0 {
+		return fmt.Errorf("-parity must be 0 (none) or positive (got %d)", *parity)
+	}
 
 	var runs []serve.Result
 	for _, n := range counts {
-		cfg := serve.DefaultConfig(n, *files, *ops)
-		cfg.Seed = *seed
-		if *fileBlocks > 0 {
-			cfg.FileBlocks = *fileBlocks
-		}
-		if *zipf >= 0 {
-			cfg.ZipfTheta = *zipf
-		}
-		if *syncEvery > 0 {
-			cfg.SyncEvery = *syncEvery
-		}
-		if *burstEvery > 0 {
-			cfg.BurstEvery = *burstEvery
-		}
-		if *burstLen > 0 {
-			cfg.BurstLen = *burstLen
-		}
-		cfg.WritebackBlocks = *writeback
-		cfg.CheckpointEvery = *ckptEvery
-		cfg.CleanWatermark = *cleanWM
-		cfg.Concurrency = *workers
-		cfg.AffinityClasses = *classes
-		cfg.AuditEvery = *auditEvery
-		cfg.HeatFiles = *heatFiles
-		fmt.Printf("bench-serve: sessions=%d files=%d ops=%d ...\n", n, *files, *ops)
-		res, err := serve.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("sessions=%d: %w", n, err)
-		}
-		runs = append(runs, res)
-		rd, sy := res.PerOp["read"], res.PerOp["sync"]
-		fmt.Printf("bench-serve: sessions=%d: %d ops, %.1f kops/vsec, read p50/p99 %d/%d ns, sync p99 %d ns\n",
-			n, res.TotalOps, res.ThroughputOpsPerSec/1000, rd.P50NS, rd.P99NS, sy.P99NS)
-		if *auditEvery > 0 {
-			fmt.Printf("bench-serve: sessions=%d: audit steps=%d rounds=%d lines-checked=%d findings=%d shadow=%dns (off-clock)\n",
-				n, res.AuditSteps, res.AuditRounds, res.AuditLinesChecked, res.AuditFindings, res.AuditDeviceNS)
+		for _, d := range widths {
+			res, err := benchServeRun(n, d, *files, *ops, *seed, *parity, benchKnobs{
+				fileBlocks: *fileBlocks, zipf: *zipf, syncEvery: *syncEvery,
+				burstEvery: *burstEvery, burstLen: *burstLen,
+				writeback: *writeback, ckptEvery: *ckptEvery, cleanWM: *cleanWM,
+				workers: *workers, classes: *classes,
+				auditEvery: *auditEvery, heatFiles: *heatFiles,
+			})
+			if err != nil {
+				return err
+			}
+			runs = append(runs, res)
 		}
 	}
 
@@ -333,6 +327,88 @@ func benchServe(args []string) error {
 	}
 	fmt.Printf("bench-serve: wrote %s (%d runs, schema %s)\n", *out, len(runs), rep.Schema)
 	return nil
+}
+
+// benchKnobs bundles the workload- and FS-shape flags one bench-serve
+// run inherits.
+type benchKnobs struct {
+	fileBlocks, syncEvery, burstEvery, burstLen int
+	writeback, ckptEvery, cleanWM, workers      int
+	classes, auditEvery, heatFiles              int
+	zipf                                        float64
+}
+
+// benchServeRun measures one (sessions, devices) trajectory point.
+// Width 0 is the raw single sled; widths >= 1 run a striped array, with
+// -parity applied when it fits the width (parity < devices) and no
+// parity otherwise — so one sweep can mix a parity-striped wide run
+// with the parity-free width-1 equivalence point.
+func benchServeRun(n, d, files, ops int, seed uint64, parity int, k benchKnobs) (serve.Result, error) {
+	cfg := serve.DefaultConfig(n, files, ops)
+	cfg.Seed = seed
+	if k.fileBlocks > 0 {
+		cfg.FileBlocks = k.fileBlocks
+	}
+	if k.zipf >= 0 {
+		cfg.ZipfTheta = k.zipf
+	}
+	if k.syncEvery > 0 {
+		cfg.SyncEvery = k.syncEvery
+	}
+	if k.burstEvery > 0 {
+		cfg.BurstEvery = k.burstEvery
+	}
+	if k.burstLen > 0 {
+		cfg.BurstLen = k.burstLen
+	}
+	cfg.WritebackBlocks = k.writeback
+	cfg.CheckpointEvery = k.ckptEvery
+	cfg.CleanWatermark = k.cleanWM
+	cfg.Concurrency = k.workers
+	cfg.AffinityClasses = k.classes
+	cfg.AuditEvery = k.auditEvery
+	cfg.HeatFiles = k.heatFiles
+	cfg.Devices = d
+	if d >= 1 && parity < d {
+		cfg.ParityDevices = parity
+	}
+	geom := "raw device"
+	if d >= 1 {
+		geom = fmt.Sprintf("devices=%d parity=%d", d, cfg.ParityDevices)
+	}
+	fmt.Printf("bench-serve: sessions=%d files=%d ops=%d %s ...\n", n, files, ops, geom)
+	res, err := serve.Run(cfg)
+	if err != nil {
+		return res, fmt.Errorf("sessions=%d %s: %w", n, geom, err)
+	}
+	rd, sy := res.PerOp["read"], res.PerOp["sync"]
+	fmt.Printf("bench-serve: sessions=%d %s: %d ops, %.1f kops/vsec, read p50/p99 %d/%d ns, sync p99 %d ns\n",
+		n, geom, res.TotalOps, res.ThroughputOpsPerSec/1000, rd.P50NS, rd.P99NS, sy.P99NS)
+	if k.auditEvery > 0 {
+		fmt.Printf("bench-serve: sessions=%d: audit steps=%d rounds=%d lines-checked=%d findings=%d shadow=%dns (off-clock)\n",
+			n, res.AuditSteps, res.AuditRounds, res.AuditLinesChecked, res.AuditFindings, res.AuditDeviceNS)
+	}
+	if d >= 1 && cfg.ParityDevices > 0 {
+		fmt.Printf("bench-serve: sessions=%d %s: parity-writes=%d\n", n, geom, res.ParityBlockWrites)
+	}
+	return res, nil
+}
+
+// parseDevices parses the -devices "0,4" width list (0 = raw single
+// sled, N >= 1 = an N-member striped array).
+func parseDevices(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-devices entry %q: want a non-negative integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-devices list is empty")
+	}
+	return out, nil
 }
 
 // traceCmd runs one traced serving run and writes the span stream as

@@ -13,26 +13,46 @@
 // damaged — a medium that must not be mounted as empty), a rejected
 // liveness table, or table/imap disagreements all exit non-zero.
 //
+// With -devices N (and -parity P) every check runs against a striped
+// multi-volume array instead of a single sled: the recovery scan
+// becomes a parity-group scan over every member's medium, and
+// anomalies that have no global address — evidence an attacker planted
+// on a member's parity territory, outside the logical block space —
+// are surfaced as per-member findings rather than silently dropped.
+// The wipe attack exercises exactly that: besides losing the host
+// registry, the attacker forges a heated line onto one member's parity
+// territory, and the scan must attribute it to that member.
+//
 // With -online it instead verifies a mounted, LIVE file system: the
 // incremental auditor (FS.AuditStep) sweeps the heated population in
 // rounds while foreground traffic keeps writing — first proving a
 // clean system yields zero findings, then forging a frame into a
 // heated line mid-traffic and reporting the detection latency against
 // the documented 2*ceil(L/batch) step bound. A finding on the clean
-// pass, or a tamper that escapes the bound, exits non-zero.
+// pass, or a tamper that escapes the bound, exits non-zero. Over an
+// array with parity the auditor's repair arm is wired to
+// array.RepairLine, so the tampered line must not only be detected but
+// healed in place from the parity group and re-verified clean; with
+// -degraded one evidence-free member is failed first, and verification
+// must hold while its reads reconstruct from the survivors (repair of
+// a further tamper is then honestly deferred — one member down
+// consumes a parity budget of 1).
 //
 // Usage:
 //
-//	serofsck [-blocks N] [-attack none|wipe|erase] [-j workers] [-inject none|torn-checkpoints|table]
-//	serofsck -online [-blocks N] [-j workers]
+//	serofsck [-blocks N] [-attack none|wipe|erase] [-j workers] [-inject none|torn-checkpoints|table] [-devices N -parity P]
+//	serofsck -online [-blocks N] [-j workers] [-devices N -parity P [-degraded]]
 //
 // Flags (all validated, nonsensical values are rejected rather than
 // silently clamped):
 //
-//	-blocks N  device size in 512-byte blocks (default 1024)
+//	-blocks N  device size in 512-byte blocks (default 1024); with
+//	           -devices this is the capacity of EACH member and must be
+//	           a multiple of the 32-block stripe unit
 //	-attack M  attacker action before the scan: none, wipe (directory
-//	           wipe) or erase (bulk erase); anything else is rejected
-//	           (default wipe)
+//	           wipe; over an array also a forged line on parity
+//	           territory) or erase (bulk erase of every member);
+//	           anything else is rejected (default wipe)
 //	-j N       scan/audit worker fan-out; must be positive, 1 = serial
 //	           (default 1)
 //	-inject M  file-system damage to inject before the journal check,
@@ -41,13 +61,20 @@
 //	           medium) or table (corrupt the liveness-table bytes; the
 //	           check must reject the table). Either injection makes
 //	           serofsck exit non-zero — that is the point (default none)
+//	-devices N striped-array member count; 1 = single device (default 1)
+//	-parity N  Reed–Solomon parity members, in [0, devices) (default 0)
+//	-degraded  with -online: fail one evidence-free member before
+//	           verification; requires -parity >= 1
 //
 // Example invocations:
 //
 //	serofsck                        # wipe attack, serial scan
 //	serofsck -attack erase -j 4     # bulk erase, fanned-out recovery scan
 //	serofsck -inject torn-checkpoints  # exercise the double-torn finding
+//	serofsck -devices 3 -parity 1      # parity-group scan with per-member findings
 //	serofsck -online                # live verification of a mounted FS
+//	serofsck -online -devices 3 -parity 1            # detection + self-healing from parity
+//	serofsck -online -devices 4 -parity 1 -degraded  # verification over a degraded array
 package main
 
 import (
@@ -59,16 +86,24 @@ import (
 	"sync"
 
 	"sero"
+	"sero/internal/array"
 	"sero/internal/device"
 	"sero/internal/medium"
 )
 
+// arrayStripe is the stripe unit every array-mode run uses — equal to
+// the online FS segment size, so one segment maps to one member.
+const arrayStripe = 32
+
 func main() {
-	blocks := flag.Int("blocks", 1024, "device size in 512-byte blocks")
+	blocks := flag.Int("blocks", 1024, "device size in 512-byte blocks (per member with -devices)")
 	attackMode := flag.String("attack", "wipe", "attacker action before the scan: none, wipe, erase")
 	workers := flag.Int("j", 1, "scan/audit concurrency (worker count; 1 = serial)")
 	inject := flag.String("inject", "none", "file-system damage to inject: none, torn-checkpoints, table")
 	online := flag.Bool("online", false, "verify a mounted, live file system with the incremental auditor instead of the offline scan")
+	devices := flag.Int("devices", 1, "striped-array member count (1 = single device)")
+	parity := flag.Int("parity", 0, "Reed–Solomon parity members of the array, in [0, devices)")
+	degraded := flag.Bool("degraded", false, "with -online: fail one evidence-free member before verification (requires -parity >= 1)")
 	flag.Parse()
 	if *workers <= 0 {
 		fmt.Fprintf(os.Stderr, "serofsck: -j must be positive (got %d)\n", *workers)
@@ -80,33 +115,104 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serofsck: unknown -inject %q (want none, torn-checkpoints or table)\n", *inject)
 		os.Exit(2)
 	}
+	if *devices < 1 {
+		fmt.Fprintf(os.Stderr, "serofsck: -devices must be at least 1 (got %d)\n", *devices)
+		os.Exit(2)
+	}
+	if *parity < 0 || *parity >= *devices {
+		fmt.Fprintf(os.Stderr, "serofsck: -parity must be in [0, devices) (got %d of %d devices)\n", *parity, *devices)
+		os.Exit(2)
+	}
+	if *devices > 1 && *blocks%arrayStripe != 0 {
+		fmt.Fprintf(os.Stderr, "serofsck: with -devices, -blocks must be a multiple of the %d-block stripe unit (got %d)\n", arrayStripe, *blocks)
+		os.Exit(2)
+	}
+	if *degraded && !*online {
+		fmt.Fprintln(os.Stderr, "serofsck: -degraded requires -online")
+		os.Exit(2)
+	}
+	if *degraded && *parity < 1 {
+		fmt.Fprintln(os.Stderr, "serofsck: -degraded requires -parity >= 1 (a member loss without parity is data loss, not a demonstration)")
+		os.Exit(2)
+	}
 
 	if *online {
-		if err := onlineVerify(*blocks, *workers); err != nil {
+		if err := onlineVerify(*blocks, *workers, *devices, *parity, *degraded); err != nil {
 			fmt.Fprintln(os.Stderr, "serofsck:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*blocks, *attackMode, *workers); err != nil {
+	if err := run(*blocks, *attackMode, *workers, *devices, *parity); err != nil {
 		fmt.Fprintln(os.Stderr, "serofsck:", err)
 		os.Exit(1)
 	}
-	if err := fsckJournal(*blocks, *workers, *inject); err != nil {
+	if err := fsckJournal(*blocks, *workers, *inject, *devices, *parity); err != nil {
 		fmt.Fprintln(os.Stderr, "serofsck:", err)
 		os.Exit(1)
 	}
+}
+
+// openStore builds the store under test: one simulated sled, or a
+// striped array with rotated Reed–Solomon parity behind the identical
+// facade when -devices asks for width.
+func openStore(blocks, workers, devices, parity int) *sero.Device {
+	if devices == 1 {
+		return sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
+	}
+	return sero.OpenArray(sero.ArrayOptions{
+		Options:       sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers},
+		Devices:       devices,
+		ParityDevices: parity,
+		StripeBlocks:  arrayStripe,
+	})
+}
+
+// parityTerritory finds a member-local block range of span blocks,
+// aligned to span, that carries parity (no global address) — the
+// territory an attacker would abuse to plant evidence outside the
+// logical block space.
+func parityTerritory(arr *array.Array, span uint64) (member int, lpba uint64, err error) {
+	data := make([]map[uint64]bool, arr.Members())
+	for m := range data {
+		data[m] = make(map[uint64]bool)
+	}
+	for g := 0; g < arr.Blocks(); g++ {
+		m, l := arr.Locate(uint64(g))
+		data[m][l] = true
+	}
+	memberBlocks := uint64(arr.MemberDevice(0).Blocks())
+	for m := arr.Members() - 1; m >= 0; m-- {
+		for start := uint64(0); start+span <= memberBlocks; start += span {
+			clear := true
+			for o := uint64(0); o < span; o++ {
+				if data[m][start+o] {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				return m, start, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("no parity territory of %d aligned blocks found", span)
 }
 
 // onlineVerify mounts a live file system, keeps foreground traffic
 // running, and verifies the heated population with the incremental
 // auditor: a clean two-round sweep first (zero findings expected),
 // then a forged frame injected into a heated line mid-traffic, timing
-// its detection against the 2*ceil(L/batch) bound.
-func onlineVerify(blocks, workers int) error {
+// its detection against the 2*ceil(L/batch) bound. Over an array with
+// spare parity the repair arm is wired: the tampered line must also be
+// healed in place from the parity group; with -degraded an
+// evidence-free member is failed first and verification must hold
+// while its blocks reconstruct.
+func onlineVerify(blocks, workers, devices, parity int, degraded bool) error {
 	const auditBatch = 2
 	fmt.Println("== online verification of a mounted, live file system ==")
-	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
+	dev := openStore(blocks, workers, devices, parity)
+	arr := dev.Array()
 	fs, err := sero.NewFS(dev, sero.FSOptions{
 		SegmentBlocks: 32,
 		HeatAware:     true,
@@ -137,9 +243,69 @@ func onlineVerify(blocks, workers int) error {
 	if err := fs.Sync(); err != nil {
 		return err
 	}
-	raw := fs.Device()
-	lines := raw.Lines()
-	fmt.Printf("mounted: %d heated lines under live traffic\n", len(lines))
+	lines := fs.Device().Lines()
+	if arr != nil {
+		fmt.Printf("mounted: %d heated lines over a %d-member array (%d parity, stripe unit %d blocks)\n",
+			len(lines), devices, parity, arrayStripe)
+	} else {
+		fmt.Printf("mounted: %d heated lines under live traffic\n", len(lines))
+	}
+
+	// Degraded mode: fail a member that carries no heated evidence, so
+	// the auditor's population stays electrically verifiable while every
+	// read touching the lost member reconstructs from the parity group.
+	failM := -1
+	if degraded {
+		// Broad marker files first: eight segment-sized files cover
+		// every parity-rotation slot, so whichever member fails below
+		// demonstrably holds committed data — its read-back must then be
+		// served via reconstruction, byte-for-byte intact.
+		for f := 0; f < 8; f++ {
+			ino, err := fs.Create(fmt.Sprintf("span%02d", f), 2)
+			if err != nil {
+				return err
+			}
+			span := make([]byte, 32*sero.BlockSize)
+			for i := range span {
+				span[i] = byte(i*13 + 7 + f)
+			}
+			if err := fs.Write(ino, 0, span); err != nil {
+				return err
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+		held := make([]int, arr.Members())
+		for _, li := range lines {
+			m, _ := arr.Locate(li.Start)
+			held[m]++
+		}
+		for m := arr.Members() - 1; m >= 0; m-- {
+			if held[m] == 0 {
+				failM = m
+				break
+			}
+		}
+		if failM < 0 {
+			return fmt.Errorf("every member holds heated evidence; a wider array (-devices) is needed for the degraded demonstration")
+		}
+		if err := arr.FailMember(failM); err != nil {
+			return err
+		}
+		fmt.Printf("member %d fails before verification: its reads reconstruct from the parity group, its writes land in the parity shadow\n", failM)
+	}
+
+	// The repair arm: with spare parity (beyond what a degraded member
+	// consumes) the auditor heals what it finds.
+	failedMembers := 0
+	if degraded {
+		failedMembers = 1
+	}
+	canHeal := arr != nil && parity > failedMembers
+	if canHeal {
+		fs.SetAuditRepairer(arr.RepairLine)
+	}
 
 	// The live foreground: a writer keeps appending to cold files for
 	// the whole verification.
@@ -196,22 +362,67 @@ func onlineVerify(blocks, workers int) error {
 	}
 	fmt.Printf("clean sweep: %d rounds completed under live traffic, zero findings\n", rounds)
 
+	// Degraded read-back: the marker files span every member, so this
+	// whole-set read forces reconstruction of the failed member's
+	// blocks — and must come back byte-identical (zero acked-write
+	// loss while degraded).
+	if degraded {
+		total := 0
+		for f := 0; f < 8; f++ {
+			ino, lerr := fs.Lookup(fmt.Sprintf("span%02d", f))
+			if lerr != nil {
+				return lerr
+			}
+			got, rerr := fs.ReadFile(ino)
+			if rerr != nil {
+				return fmt.Errorf("degraded read-back of span%02d: %w", f, rerr)
+			}
+			for i := range got {
+				if got[i] != byte(i*13+7+f) {
+					return fmt.Errorf("FINDING: degraded read-back of span%02d diverged at byte %d", f, i)
+				}
+			}
+			total += len(got)
+		}
+		fmt.Printf("degraded read-back: %d bytes re-read intact across the member failure\n", total)
+	}
+
 	// Tamper mid-traffic: forge a valid-looking frame into a member
-	// block of the first heated line, then time its detection.
+	// block of the first heated line, then time its detection. Over an
+	// array the forge lands raw on the owning member's medium at the
+	// member-local address.
 	victim := lines[0]
 	member := victim.Start + 1
 	forged := make([]byte, device.DataBytes)
 	for i := range forged {
 		forged[i] = byte(i * 7)
 	}
-	bits := device.ForgedFrameBits(member, forged)
-	base := int(member) * device.DotsPerBlock
-	raw.TamperRaw(victim.Start, member+2, func(m *medium.Medium) {
-		for i, b := range bits {
-			m.MWB(base+i, b)
+	if arr != nil {
+		vm, lpba := arr.Locate(member)
+		bits := device.ForgedFrameBits(lpba, forged)
+		base := int(lpba) * device.DotsPerBlock
+		from := lpba
+		if from > 0 {
+			from--
 		}
-	})
-	fmt.Printf("attacker forges block %d of heated line %d during live traffic\n", member, victim.Start)
+		arr.MemberDevice(vm).TamperRaw(from, lpba+2, func(m *medium.Medium) {
+			for i, b := range bits {
+				m.MWB(base+i, b)
+			}
+		})
+		fmt.Printf("attacker forges block %d of heated line %d (member %d, local block %d) during live traffic\n",
+			member, victim.Start, vm, lpba)
+	} else {
+		raw := fs.Device().(*device.Device)
+		bits := device.ForgedFrameBits(member, forged)
+		base := int(member) * device.DotsPerBlock
+		raw.TamperRaw(victim.Start, member+2, func(m *medium.Medium) {
+			for i, b := range bits {
+				m.MWB(base+i, b)
+			}
+		})
+		fmt.Printf("attacker forges block %d of heated line %d during live traffic\n", member, victim.Start)
+	}
 
 	detected := func() bool {
 		for _, f := range fs.AuditFindings() {
@@ -231,6 +442,32 @@ func onlineVerify(blocks, workers int) error {
 	st := fs.Stats()
 	fmt.Printf("tamper detected after %d audit steps (bound %d); cumulative: %d steps, %d rounds, %d lines checked, %d findings\n",
 		steps, bound, st.AuditSteps, st.AuditRounds, st.AuditLinesChecked, st.AuditFindings)
+
+	if arr != nil {
+		ast := arr.ArrayStats()
+		if degraded {
+			if ast.DegradedReads == 0 {
+				return fmt.Errorf("FINDING: no degraded reads recorded — the reconstruction path was never exercised")
+			}
+			fmt.Printf("degraded serving held: %d reads served via reconstruction (%d blocks rebuilt from the parity group) with member %d down\n",
+				ast.DegradedReads, ast.ReconstructedBlocks, failM)
+		}
+		switch {
+		case canHeal:
+			if st.AuditRepairs != 1 || st.AuditRepairFailures != 0 {
+				return fmt.Errorf("FINDING NOT HEALED: %d repairs, %d repair failures for one tampered line",
+					st.AuditRepairs, st.AuditRepairFailures)
+			}
+			rep, verr := arr.VerifyLine(victim.Start)
+			if verr != nil || !rep.OK {
+				return fmt.Errorf("FINDING NOT HEALED: line %d does not re-verify clean after repair (%v)", victim.Start, verr)
+			}
+			fmt.Printf("self-healing: line %d rebuilt in place from the parity group and re-verified clean (%d line repair, finding retained as evidence)\n",
+				victim.Start, ast.RepairedLines)
+		case degraded && parity >= 1:
+			fmt.Println("repair deferred: the lost member consumes the parity budget; rebuild it first (RepairMember), then the tampered line heals")
+		}
+	}
 	fmt.Println("online verification complete: detection holds under live load")
 	return nil
 }
@@ -242,10 +479,12 @@ func onlineVerify(blocks, workers int) error {
 // replayed imap and the liveness table against the inodes. Any
 // damage — including the double-torn condition, where no checkpoint
 // slot survives — is a finding returned as an error (non-zero exit),
-// never silently tolerated.
-func fsckJournal(blocks, workers int, inject string) error {
+// never silently tolerated. With devices > 1 the same check runs over
+// the striped array — the journal lives in the global block space, so
+// the verification is geometry-blind.
+func fsckJournal(blocks, workers int, inject string, devices, parity int) error {
 	fmt.Println("\n== file-system journal check ==")
-	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
+	dev := openStore(blocks, workers, devices, parity)
 	opts := sero.FSOptions{
 		SegmentBlocks:   32,
 		CheckpointEvery: 1 << 20, // everything after the first sync journals
@@ -367,8 +606,9 @@ func injectDamage(dev *sero.Device, fs *sero.FS, inject string) error {
 	return nil
 }
 
-func run(blocks int, attackMode string, workers int) error {
-	dev := sero.Open(sero.Options{Blocks: blocks, Quiet: true, Concurrency: workers})
+func run(blocks int, attackMode string, workers, devices, parity int) error {
+	dev := openStore(blocks, workers, devices, parity)
+	arr := dev.Array()
 
 	// Populate: three heated lines of compliance records.
 	for i := 0; i < 3; i++ {
@@ -387,16 +627,50 @@ func run(blocks int, attackMode string, workers int) error {
 		}
 	}
 	fmt.Printf("prepared %d heated lines\n", len(dev.Lines()))
+	if arr != nil {
+		fmt.Printf("array geometry: %d members, %d parity, stripe unit %d blocks (%d logical blocks)\n",
+			devices, parity, arrayStripe, arr.Blocks())
+	}
 
 	switch attackMode {
 	case "none":
 	case "wipe":
 		fmt.Println("attacker wipes all host metadata (device registry lost)")
 		// Recover() below rebuilds from the medium alone, which is the
-		// point of the demonstration.
+		// point of the demonstration. Over an array with parity the
+		// attacker additionally plants a forged heated line on one
+		// member's parity territory — an address outside the logical
+		// block space; the parity-group scan must attribute it to the
+		// member instead of dropping it.
+		if arr != nil && parity > 0 {
+			m, lpba, err := parityTerritory(arr, 4)
+			if err != nil {
+				return err
+			}
+			var rogue [][]byte
+			for b := 0; b < 3; b++ {
+				blk := make([]byte, sero.BlockSize)
+				copy(blk, fmt.Sprintf("forged evidence %d", b))
+				rogue = append(rogue, blk)
+			}
+			mdev := arr.MemberDevice(m)
+			if err := mdev.WriteLineBatch(lpba, 2, rogue); err != nil {
+				return err
+			}
+			if _, err := mdev.HeatLine(lpba, 2); err != nil {
+				return err
+			}
+			fmt.Printf("attacker also plants a forged heated line on member %d's parity territory (local block %d)\n", m, lpba)
+		}
 	case "erase":
 		fmt.Println("attacker runs a bulk eraser over the medium")
-		dev.Store().Device().Medium().BulkErase()
+		if arr != nil {
+			for m := 0; m < arr.Members(); m++ {
+				arr.MemberDevice(m).Medium().BulkErase()
+			}
+		} else {
+			dev.RawDevice().Medium().BulkErase()
+		}
 	default:
 		return fmt.Errorf("unknown attack %q", attackMode)
 	}
@@ -418,6 +692,24 @@ func run(blocks int, attackMode string, workers int) error {
 		}
 		fmt.Printf("  line %4d (+%2d blocks, heated at t=%dns): %s\n",
 			li.Start, li.Blocks(), li.Record.HeatedAt, status)
+	}
+	if arr != nil {
+		findings := arr.ScanFindings()
+		fmt.Printf("parity-group scan: %d per-member findings\n", len(findings))
+		for _, f := range findings {
+			fmt.Printf("  member %d: %s at local block %d\n", f.Member, f.Kind, f.Local)
+		}
+		if attackMode == "wipe" && parity > 0 && len(findings) == 0 {
+			return fmt.Errorf("FINDING ESCAPED: the forged line on parity territory was not surfaced by the member scans")
+		}
+		ast := arr.ArrayStats()
+		for m, c := range ast.MemberClocks {
+			state := "live"
+			if ast.Failed[m] {
+				state = "FAILED"
+			}
+			fmt.Printf("  member %d: %s, clock %v\n", m, state, c)
+		}
 	}
 	fmt.Println(dev.Audit().Summary())
 	return nil

@@ -70,6 +70,12 @@
 //	              2*ceil(L/batch) bound across batch sizes, and the
 //	              audit tax on the serving mix (virtual-time identical
 //	              audit-on vs audit-off, shadow device cost reported)
+//	e22-striping  the striped multi-volume array: serving throughput
+//	              across widths 1/2/4 with Reed–Solomon parity,
+//	              width-1 virtual-time identity with the raw device,
+//	              degraded serving with one member lost (reads
+//	              reconstructed from the parity group), and auditor
+//	              self-healing of a tampered heated line
 //
 // Example invocations:
 //
@@ -129,7 +135,7 @@ func main() {
 		"e5-overhead", "e6-archival", "e7-erb", "e8-aging", "e9-defects", "e10-pulse", "e11-worm", "e12-ffs", "e13-scrub",
 		"e14-writepath", "e15-recovery", "e16-background-clean",
 		"e17-mount-scale", "e18-serving", "e19-parallel-write",
-		"e20-observability", "e21-online-verify",
+		"e20-observability", "e21-online-verify", "e22-striping",
 	}
 	wanted := flag.Args()
 	if len(wanted) == 0 {
@@ -278,6 +284,12 @@ func run(name string, seed uint64) error {
 		fmt.Print(res.Table())
 	case "e21-online-verify":
 		res, err := experiments.RunE21(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+	case "e22-striping":
+		res, err := experiments.RunE22(fsFlags.sessions, seed)
 		if err != nil {
 			return err
 		}

@@ -59,7 +59,7 @@ func main() {
 	// ...so the attacker goes under the device: a raw medium write
 	// with a perfectly consistent forged frame.
 	bits := device.ForgedFrameBits(start+1, fill("page 1, falsified"))
-	med := dev.Store().Device().Medium()
+	med := dev.RawDevice().Medium()
 	base := int(start+1) * device.DotsPerBlock
 	for i, b := range bits {
 		med.MWB(base+i, b)

@@ -76,7 +76,7 @@ func main() {
 	forged := make([]byte, sero.BlockSize)
 	copy(forged, "seq=0005 cmd=READ  /var/log/auth.log")
 	bits := device.ForgedFrameBits(victim.Start+3, forged)
-	med := dev.Store().Device().Medium()
+	med := dev.RawDevice().Medium()
 	base := int(victim.Start+3) * device.DotsPerBlock
 	for i, b := range bits {
 		med.MWB(base+i, b)

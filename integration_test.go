@@ -54,7 +54,7 @@ func TestIntegrationFullLifecycle(t *testing.T) {
 	st, _ := fs.Stat(vIno)
 	target := st.HeatLines[0] + 2
 	bits := device.ForgedFrameBits(target, bytes.Repeat([]byte{0xEE}, BlockSize))
-	med := d.Store().Device().Medium()
+	med := d.Store().Device().(*device.Device).Medium()
 	base := int(target) * device.DotsPerBlock
 	for i, b := range bits {
 		med.MWB(base+i, b)
@@ -170,7 +170,7 @@ func TestIntegrationRetentionOverFacade(t *testing.T) {
 	if _, err := mgr.Shred("r1"); err != nil {
 		t.Fatal(err)
 	}
-	ok, err := d.Store().Device().IsShredded(rec.Line.Start)
+	ok, err := d.Store().Device().(*device.Device).IsShredded(rec.Line.Start)
 	if err != nil || !ok {
 		t.Fatalf("not shredded: %v %v", ok, err)
 	}

@@ -46,7 +46,12 @@ func (r Result) Outcome() string {
 
 // Harness prepares a victim environment and runs attacks.
 type Harness struct {
-	fs  *lfs.FS
+	fs *lfs.FS
+	// raw is the sled under the file system: adversary access is
+	// physical, per-device access, so the harness requires the fs to
+	// sit on a single raw device (array campaigns tamper a chosen
+	// member through array.MemberDevice instead).
+	raw *device.Device
 	rng *sim.RNG
 	// victim is the heated file under attack.
 	victim string
@@ -58,6 +63,11 @@ type Harness struct {
 // the attacker regrets) plus unheated bystander files.
 func NewHarness(fs *lfs.FS, seed uint64) (*Harness, error) {
 	h := &Harness{fs: fs, rng: sim.NewRNG(seed), victim: "incriminating-record"}
+	raw, ok := fs.Device().(*device.Device)
+	if !ok {
+		return nil, fmt.Errorf("attack: harness requires a raw single device, got %T", fs.Device())
+	}
+	h.raw = raw
 	ino, err := fs.Create(h.victim, 1)
 	if err != nil {
 		return nil, err
@@ -111,7 +121,7 @@ func (h *Harness) tamper(start, end uint64, f func(m *medium.Medium)) {
 	if start > 0 {
 		start--
 	}
-	h.fs.Device().TamperRaw(start, end+1, f)
+	h.raw.TamperRaw(start, end+1, f)
 }
 
 // verifyDetects re-verifies the victim and reports whether tampering
@@ -278,7 +288,7 @@ func (h *Harness) AttackSplitFile() Result {
 		Description: "craft data resembling hash+inode mid-line to split " +
 			"the file into two apparently genuine files",
 	}
-	dev := h.fs.Device()
+	dev := h.raw
 	// The forged record claims a line at the victim's third block —
 	// not a multiple of the line size.
 	forgedStart := h.line.Start + 2
@@ -323,7 +333,7 @@ func (h *Harness) AttackCoalesce() Result {
 		Description: "electrically forge an enclosing line record to merge the " +
 			"victim with neighbouring data",
 	}
-	dev := h.fs.Device()
+	dev := h.raw
 
 	// Find the aligned enclosing range one size up from the victim.
 	size := h.line.Blocks() * 2
@@ -409,7 +419,7 @@ func (h *Harness) AttackCopyMask() Result {
 		Name:        "copy-mask",
 		Description: "copy the heated file's blocks elsewhere to mask the original",
 	}
-	dev := h.fs.Device()
+	dev := h.raw
 	// Earlier attacks in RunAll may already have damaged the line;
 	// this attack is judged by what *it* changes.
 	damagedBefore, _ := h.verifyDetects()
@@ -456,7 +466,7 @@ func (h *Harness) AttackClearDirectory() Result {
 		Name:        "clear-directory",
 		Description: "wipe the FS checkpoint/directory to orphan the heated file",
 	}
-	dev := h.fs.Device()
+	dev := h.raw
 	// Raw-wipe the checkpoint region (first segment of the device).
 	garbage := make([]byte, device.DataBytes)
 	for i := range garbage {
@@ -513,7 +523,7 @@ func (h *Harness) AttackBulkErase() Result {
 		Name:        "bulk-erase",
 		Description: "degauss the entire medium",
 	}
-	dev := h.fs.Device()
+	dev := h.raw
 	dev.TamperExclusive(func(med *medium.Medium) { med.BulkErase() })
 	// Recovery scan still finds the electrical evidence: either an
 	// intact heated line, or (when an earlier attack already damaged

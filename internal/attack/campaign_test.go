@@ -167,14 +167,14 @@ func TestDetectionLatencyBound(t *testing.T) {
 			ap := workload.NewApplier(fs)
 			for i, op := range ops {
 				if i == at {
-					tampered = tamperRandomBlock(fs.Device(), rng, victim)
+					tampered = tamperRandomBlock(fs.Device().(*device.Device), rng, victim)
 				}
 				if err := ap.Apply(op); err != nil {
 					t.Fatal(err)
 				}
 			}
 			if tampered == 0 {
-				tampered = tamperRandomBlock(fs.Device(), rng, victim)
+				tampered = tamperRandomBlock(fs.Device().(*device.Device), rng, victim)
 			}
 		} else {
 			// j concurrent sessions; the tamper lands from this
@@ -194,7 +194,7 @@ func TestDetectionLatencyBound(t *testing.T) {
 				}(s)
 			}
 			runtime.Gosched()
-			tampered = tamperRandomBlock(fs.Device(), rng, victim)
+			tampered = tamperRandomBlock(fs.Device().(*device.Device), rng, victim)
 			wg.Wait()
 			close(errs)
 			for err := range errs {

@@ -199,7 +199,7 @@ func TestAuditParallelMatchesSerial(t *testing.T) {
 	// reports too: rewrite it with a perfectly consistent forged frame
 	// (valid CRC and parity), which only the line hash can catch.
 	victim := st.Lines()[7]
-	med := st.Device().Medium()
+	med := st.Device().(*device.Device).Medium()
 	forged := make([]byte, device.DataBytes)
 	copy(forged, "these are not the records you wrote")
 	bits := device.ForgedFrameBits(victim.Start+1, forged)

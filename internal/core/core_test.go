@@ -257,7 +257,7 @@ func TestAuditCleanAndTampered(t *testing.T) {
 	bits := device.ForgedFrameBits(starts[1]+1, evil)
 	base := int(starts[1]+1) * device.DotsPerBlock
 	for i, b := range bits {
-		s.Device().Medium().MWB(base+i, b)
+		s.Device().(*device.Device).Medium().MWB(base+i, b)
 	}
 	rep = s.Audit()
 	if rep.Clean() || rep.TamperedLines != 1 {
@@ -381,7 +381,7 @@ func TestScrubberDetectsAndStops(t *testing.T) {
 	// Tamper between the second and third pass.
 	sched.At(clock.Now()+12*time.Millisecond, func() {
 		bits := device.ForgedFrameBits(start+1, block(0xBB))
-		med := s.Device().Medium()
+		med := s.Device().(*device.Device).Medium()
 		base := int(start+1) * device.DotsPerBlock
 		for i, b := range bits {
 			med.MWB(base+i, b)

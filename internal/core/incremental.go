@@ -56,6 +56,13 @@ type IncrementalStats struct {
 	// findings; a vanished line — coalesced or rescanned away — is
 	// skipped silently and counts as neither).
 	Errors uint64
+	// Repairs counts findings the armed repairer healed (the repaired
+	// line re-verified clean). Zero unless SetRepairer armed
+	// self-healing.
+	Repairs uint64
+	// RepairFailures counts findings the repairer could not heal (the
+	// repair call errored, or the line still verified tampered).
+	RepairFailures uint64
 	// DeviceNS is the shadow virtual time the checks would have cost
 	// on the foreground clock (off-clock contract above).
 	DeviceNS uint64
@@ -65,6 +72,8 @@ type IncrementalStats struct {
 type StepReport struct {
 	// Checked counts lines verified by this step.
 	Checked int
+	// Repaired counts this step's findings the armed repairer healed.
+	Repaired int
 	// Findings holds the tampered-line reports this step surfaced.
 	Findings []device.VerifyReport
 	// RoundComplete reports whether this step drained the current
@@ -96,7 +105,7 @@ func (lr *lineRanges) find(pba uint64) (uint64, bool) {
 // Step itself is serialised internally, so callers may drive it from a
 // background goroutine and inline from foreground paths at once.
 type IncrementalAuditor struct {
-	dev *device.Device
+	dev device.Dev
 
 	// ranges is the round snapshot the lock-free Observe path reads.
 	ranges atomic.Pointer[lineRanges]
@@ -107,14 +116,34 @@ type IncrementalAuditor struct {
 	pending   map[uint64]bool // membership for remaining
 	hints     []uint64        // observed lines to check first (subset of pending)
 	hinted    map[uint64]bool // dedup for hints within the round
+	repairer  Repairer
 	stats     IncrementalStats
 	findings  []device.VerifyReport
+}
+
+// Repairer heals one tampered heated line in place, given its (device
+// address space) start, and returns the fresh line info. The striped
+// array's RepairLine — reconstruct the true payloads from parity,
+// splice fresh media, rewrite, re-heat — is the canonical
+// implementation.
+type Repairer func(start uint64) (device.LineInfo, error)
+
+// SetRepairer arms self-healing: from now on every tamper finding is
+// handed to fn, and the line is re-verified afterwards to confirm the
+// heal (Stats.Repairs vs Stats.RepairFailures). The finding is still
+// recorded either way — a healed tamper remains evidence. Repairs run
+// on the foreground clock (they are real service actions, unlike the
+// off-clock checks). Pass nil to disarm.
+func (a *IncrementalAuditor) SetRepairer(fn Repairer) {
+	a.mu.Lock()
+	a.repairer = fn
+	a.mu.Unlock()
 }
 
 // NewIncrementalAuditor builds an auditor over dev. It does not
 // install any observer; call dev.SetReadObserver(a.Observe) to enable
 // piggyback hints.
-func NewIncrementalAuditor(dev *device.Device) *IncrementalAuditor {
+func NewIncrementalAuditor(dev device.Dev) *IncrementalAuditor {
 	return &IncrementalAuditor{
 		dev:     dev,
 		pending: make(map[uint64]bool),
@@ -180,12 +209,33 @@ func (a *IncrementalAuditor) Step(batch int) StepReport {
 			a.mu.Unlock()
 			continue
 		}
-		if vr.Tampered() {
+		tampered := vr.Tampered()
+		var heal Repairer
+		if tampered {
 			a.stats.Findings++
 			a.findings = append(a.findings, vr)
 			rep.Findings = append(rep.Findings, vr)
+			heal = a.repairer
 		}
 		a.mu.Unlock()
+		if heal != nil {
+			healed := false
+			if _, rerr := heal(start); rerr == nil {
+				// Confirm: the healed line must verify clean.
+				if vr2, sh2, err2 := a.dev.VerifyLineOffClock(start); err2 == nil && !vr2.Tampered() {
+					healed = true
+					shadow += sh2
+				}
+			}
+			a.mu.Lock()
+			if healed {
+				a.stats.Repairs++
+				rep.Repaired++
+			} else {
+				a.stats.RepairFailures++
+			}
+			a.mu.Unlock()
+		}
 		rep.Checked++
 		rep.DeviceNS += shadow
 	}

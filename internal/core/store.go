@@ -22,7 +22,7 @@ import (
 // the same device such as the file-system layer); the store's own
 // lock only covers the allocator.
 type Store struct {
-	dev *device.Device
+	dev device.Dev
 
 	// alMu guards the allocator and nothing else: no device I/O ever
 	// runs under it, so allocation never serialises against in-flight
@@ -46,7 +46,7 @@ var (
 )
 
 // NewStore wraps a device.
-func NewStore(dev *device.Device) *Store {
+func NewStore(dev device.Dev) *Store {
 	return &Store{
 		dev: dev,
 		al:  NewAllocator(dev.Blocks()),
@@ -54,7 +54,7 @@ func NewStore(dev *device.Device) *Store {
 }
 
 // Device exposes the underlying device (read-only use: clocks, stats).
-func (s *Store) Device() *device.Device { return s.dev }
+func (s *Store) Device() device.Dev { return s.dev }
 
 // Concurrency returns the device's configured fan-out width, which
 // Audit and Recover use by default.

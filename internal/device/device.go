@@ -74,6 +74,12 @@ type Params struct {
 	// Geometry overrides the probe-array geometry; zero value means
 	// probe.DefaultGeometry.
 	Geometry probe.Geometry
+
+	// TrackOffset shifts every trace track id this device emits. An
+	// array gives each member a disjoint offset so per-member worker
+	// planes land on their own rows of the Chrome trace instead of
+	// colliding on tracks 0..K.
+	TrackOffset int32
 }
 
 // DefaultParams returns a device of the given size with the standard
@@ -406,6 +412,10 @@ func New(p Params) *Device {
 // Blocks returns the number of blocks.
 func (d *Device) Blocks() int { return d.p.Blocks }
 
+// Params returns the device's construction parameters — what an array
+// needs to commission an identical spare sled for a member rebuild.
+func (d *Device) Params() Params { return d.p }
+
 // Clock returns the device's virtual clock.
 func (d *Device) Clock() *sim.Clock { return d.clock }
 
@@ -650,9 +660,9 @@ func (d *Device) writeRunOn(pl *plane, start uint64, blocks [][]byte) {
 		a.ChargeMagneticWrite(d.chargeIndex(base), len(blocks)*DotsPerBlock)
 	})
 	if tr != nil {
-		tr.Emit(trace.Span{Name: "settle", Cat: "device", Track: pl.track, Session: -1,
+		tr.Emit(trace.Span{Name: "settle", Cat: "device", Track: pl.track + d.p.TrackOffset, Session: -1,
 			Start: pl.base + int64(t0), Dur: int64(t1 - t0), V1: int64(len(blocks)), V2: int64(start)})
-		tr.Emit(trace.Span{Name: "write", Cat: "device", Track: pl.track, Session: -1,
+		tr.Emit(trace.Span{Name: "write", Cat: "device", Track: pl.track + d.p.TrackOffset, Session: -1,
 			Start: pl.base + int64(t1), Dur: int64(t0+elapsed) - int64(t1), V1: int64(len(blocks)), V2: int64(start)})
 	}
 	for i, data := range blocks {
@@ -765,7 +775,7 @@ func (d *Device) mrsInto(pl *plane, pba uint64, dst []byte) (int, error) {
 		a.ChargeMagneticRead(d.chargeIndex(base), DotsPerBlock)
 	})
 	if tr != nil {
-		tr.Emit(trace.Span{Name: "read", Cat: "device", Track: pl.track, Session: -1,
+		tr.Emit(trace.Span{Name: "read", Cat: "device", Track: pl.track + d.p.TrackOffset, Session: -1,
 			Start: pl.base + int64(t0), Dur: int64(elapsed), V1: 1, V2: int64(pba)})
 	}
 	bits := make([]bool, DotsPerBlock)

@@ -444,7 +444,7 @@ func (d *Device) drainPlanes(planes []*plane, task *trace.Task, name string) {
 	d.arrMu.Unlock()
 	task.AddDevice(maxElapsed)
 	if tr := d.tracer.Load(); tr != nil && name != "" && len(planes) > 0 {
-		tr.Emit(trace.Span{Name: name, Cat: "device", Track: 0, Session: -1,
+		tr.Emit(trace.Span{Name: name, Cat: "device", Track: d.p.TrackOffset, Session: -1,
 			Start: planes[0].base, Dur: int64(maxElapsed), V1: int64(len(planes))})
 	}
 }

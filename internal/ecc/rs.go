@@ -186,6 +186,103 @@ func (c *Codec) Decode(cw []byte) (data []byte, corrected int, err error) {
 	return cw[:len(cw)-c.parity], numErrs, nil
 }
 
+// DecodeErasures corrects cw in place given the positions of the lost
+// bytes (0-based indexes into cw, data‖parity as produced by Encode)
+// and returns the corrected data portion. Because the loss positions
+// are known — a failed device in an array, an unreadable sector — the
+// code corrects up to parity erasures per codeword, double the
+// parity/2 unknown-position errors Decode can fix. The bytes at the
+// given positions are reconstructed regardless of their current
+// contents; bytes outside the positions must be intact (mixed
+// erasure-plus-error patterns are rejected by the final syndrome
+// check).
+func (c *Codec) DecodeErasures(cw []byte, positions []int) (data []byte, err error) {
+	if len(cw) <= c.parity || len(cw) > 255 {
+		return nil, fmt.Errorf("ecc: codeword length %d invalid for parity %d", len(cw), c.parity)
+	}
+	if len(positions) > c.parity {
+		return nil, ErrTooManyErrors
+	}
+	seen := make(map[int]bool, len(positions))
+	for _, pos := range positions {
+		if pos < 0 || pos >= len(cw) {
+			return nil, fmt.Errorf("ecc: erasure position %d outside codeword of %d bytes", pos, len(cw))
+		}
+		if seen[pos] {
+			return nil, fmt.Errorf("ecc: duplicate erasure position %d", pos)
+		}
+		seen[pos] = true
+		cw[pos] = 0
+	}
+	syn, clean := c.syndromes(cw)
+	if clean {
+		// The erased bytes really were zero (or nothing was erased).
+		return cw[:len(cw)-c.parity], nil
+	}
+	if len(positions) == 0 {
+		return nil, ErrTooManyErrors
+	}
+
+	// With the erasures zeroed, the codeword differs from the true one
+	// by exactly the erased magnitudes m_i at known locators
+	// X_i = α^{n-1-pos_i}, so the syndromes (fcr=0, as in syndromes())
+	// give the linear system  s_j = Σ_i m_i · X_i^j.  Solve the first
+	// e equations by Gaussian elimination over GF(2^8); the matrix is
+	// Vandermonde in the distinct X_i, hence nonsingular.
+	n := len(cw)
+	e := len(positions)
+	mat := make([][]byte, e)
+	for j := 0; j < e; j++ {
+		row := make([]byte, e+1)
+		for i, pos := range positions {
+			x := Exp((n - 1 - pos) % 255) // X_i = α^{n-1-pos}
+			v := byte(1)
+			for k := 0; k < j; k++ {
+				v = Mul(v, x)
+			}
+			row[i] = v
+		}
+		row[e] = syn[j]
+		mat[j] = row
+	}
+	for col := 0; col < e; col++ {
+		pivot := -1
+		for r := col; r < e; r++ {
+			if mat[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrTooManyErrors
+		}
+		mat[col], mat[pivot] = mat[pivot], mat[col]
+		inv := Div(1, mat[col][col])
+		for k := col; k <= e; k++ {
+			mat[col][k] = Mul(mat[col][k], inv)
+		}
+		for r := 0; r < e; r++ {
+			if r == col || mat[r][col] == 0 {
+				continue
+			}
+			f := mat[r][col]
+			for k := col; k <= e; k++ {
+				mat[r][k] ^= Mul(f, mat[col][k])
+			}
+		}
+	}
+	for i, pos := range positions {
+		cw[pos] = mat[i][e]
+	}
+
+	// A codeword that still has nonzero syndromes was corrupted
+	// outside the declared erasures.
+	if _, ok := c.syndromes(cw); !ok {
+		return nil, ErrTooManyErrors
+	}
+	return cw[:len(cw)-c.parity], nil
+}
+
 // addLow adds two lowest-degree-first polynomials.
 func addLow(a, b []byte) []byte {
 	n := len(a)

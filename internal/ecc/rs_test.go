@@ -247,3 +247,96 @@ func BenchmarkRSDecodeClean512(b *testing.B) {
 		}
 	}
 }
+
+func TestDecodeErasuresFullCapacity(t *testing.T) {
+	// Known-position losses correct up to parity symbols — double the
+	// parity/2 unknown-position budget.
+	for _, parity := range []int{1, 2, 3, 4, 8} {
+		c := NewCodec(parity)
+		rng := sim.NewRNG(uint64(1000 + parity))
+		data := make([]byte, 20)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		cw := c.Encode(data)
+		perm := rng.Perm(len(cw))
+		positions := perm[:parity]
+		corrupt := append([]byte(nil), cw...)
+		for _, pos := range positions {
+			corrupt[pos] = byte(rng.Uint64()) // garbage, not just zero
+		}
+		got, err := c.DecodeErasures(corrupt, positions)
+		if err != nil {
+			t.Fatalf("parity %d: %v", parity, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("parity %d: data mismatch", parity)
+		}
+		if !bytes.Equal(corrupt, cw) {
+			t.Fatalf("parity %d: parity bytes not reconstructed", parity)
+		}
+	}
+}
+
+func TestDecodeErasuresProperty(t *testing.T) {
+	c := NewCodec(6)
+	rng := sim.NewRNG(7)
+	f := func(raw []byte, count uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > c.MaxData() {
+			raw = raw[:c.MaxData()]
+		}
+		e := int(count) % (c.Parity() + 1)
+		cw := c.Encode(raw)
+		perm := rng.Perm(len(cw))
+		positions := perm[:e]
+		corrupt := append([]byte(nil), cw...)
+		for _, pos := range positions {
+			corrupt[pos] = byte(rng.Uint64())
+		}
+		got, err := c.DecodeErasures(corrupt, positions)
+		return err == nil && bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErasuresBeyondCapacity(t *testing.T) {
+	c := NewCodec(4)
+	data := []byte("erasures beyond parity must fail")
+	cw := c.Encode(data)
+	positions := []int{0, 5, 9, 13, 17}
+	if _, err := c.DecodeErasures(cw, positions); err == nil {
+		t.Fatal("decoded 5 erasures with 4 parity bytes")
+	}
+}
+
+func TestDecodeErasuresRejectsHiddenError(t *testing.T) {
+	// A byte corrupted OUTSIDE the declared erasures must not produce
+	// a silently wrong decode.
+	c := NewCodec(3)
+	data := []byte("hidden error detection")
+	cw := c.Encode(data)
+	cw[2] = 0 // declared erasure
+	cw[7] ^= 0xA5
+	if _, err := c.DecodeErasures(cw, []int{2}); err == nil {
+		t.Fatal("accepted a codeword corrupted outside the erasures")
+	}
+}
+
+func TestDecodeErasuresRejectsBadPositions(t *testing.T) {
+	c := NewCodec(2)
+	cw := c.Encode([]byte("positions"))
+	if _, err := c.DecodeErasures(append([]byte(nil), cw...), []int{-1}); err == nil {
+		t.Fatal("accepted negative position")
+	}
+	if _, err := c.DecodeErasures(append([]byte(nil), cw...), []int{len(cw)}); err == nil {
+		t.Fatal("accepted out-of-range position")
+	}
+	if _, err := c.DecodeErasures(append([]byte(nil), cw...), []int{1, 1}); err == nil {
+		t.Fatal("accepted duplicate positions")
+	}
+}

@@ -122,7 +122,7 @@ func e21Trial(batch int, seed uint64) (steps, lines int, shadowNS int64, err err
 		return 0, 0, 0, err
 	}
 
-	dev := fs.Device()
+	dev := fs.Device().(*device.Device)
 	lines = len(dev.Lines())
 	tampered := forgeRandomBlock(dev, sim.NewRNG(seed*2654435761))
 	found := func() bool {

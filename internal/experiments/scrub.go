@@ -93,7 +93,7 @@ func runE13Point(seed uint64, lines int, interval time.Duration) (E13Point, erro
 		forged := make([]byte, device.DataBytes)
 		copy(forged, "history, revised")
 		bits := device.ForgedFrameBits(victim+1, forged)
-		med := st.Device().Medium()
+		med := st.Device().(*device.Device).Medium()
 		base := int(victim+1) * device.DotsPerBlock
 		for i, b := range bits {
 			med.MWB(base+i, b)

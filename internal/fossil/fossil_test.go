@@ -183,7 +183,7 @@ func TestHeatedNodeTamperDetected(t *testing.T) {
 	forged := marshalNode(&node{line: line, level: 0})
 	bits := device.ForgedFrameBits(line+1, forged)
 	base := int(line+1) * device.DotsPerBlock
-	med := st.Device().Medium()
+	med := st.Device().(*device.Device).Medium()
 	for i, b := range bits {
 		med.MWB(base+i, b)
 	}

@@ -84,6 +84,8 @@ func (fs *FS) AuditStep(batch int) (AuditStats, bool) {
 	fs.stats.AuditFindings = as.Findings
 	fs.stats.AuditPiggybacked = as.PiggybackHits
 	fs.stats.AuditDeviceNS = as.DeviceNS
+	fs.stats.AuditRepairs = as.Repairs
+	fs.stats.AuditRepairFailures = as.RepairFailures
 	fs.mu.Unlock()
 
 	if rep.Checked > 0 {
@@ -93,6 +95,19 @@ func (fs *FS) AuditStep(batch int) (AuditStats, bool) {
 		fs.emitSpan(tr, "audit-round", t0, int64(as.Rounds), int64(as.Findings))
 	}
 	return rep, rep.Checked > 0
+}
+
+// SetAuditRepairer arms self-healing on the incremental auditor: every
+// tamper finding is handed to fn (typically the striped array's
+// RepairLine — reconstruct the true line from cross-device parity and
+// splice it back), then re-verified to confirm the heal. The finding
+// is still recorded either way; Stats.AuditRepairs and
+// Stats.AuditRepairFailures count the outcomes. Pass nil to disarm.
+func (fs *FS) SetAuditRepairer(fn core.Repairer) {
+	fs.mu.Lock()
+	aud := fs.ensureAuditorLocked()
+	fs.mu.Unlock()
+	aud.SetRepairer(fn)
 }
 
 // AuditFindings returns the tampered-line reports the incremental

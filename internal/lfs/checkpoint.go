@@ -515,7 +515,7 @@ const fanReadMinShare = 16
 // planes (clamped so every plane streams at least fanReadMinShare
 // blocks); narrow ranges and workers <= 1 read serially on the
 // foreground probe, which pays no per-plane positioning seek.
-func ReadablePrefix(dev *device.Device, base uint64, blocks, workers int) ([]byte, bool) {
+func ReadablePrefix(dev device.Dev, base uint64, blocks, workers int) ([]byte, bool) {
 	if blocks <= 0 {
 		return nil, true
 	}

@@ -30,7 +30,7 @@ func TestMountCorruptCheckpoint(t *testing.T) {
 	garbage := make([]byte, device.DataBytes)
 	garbage[0] = 0xFF
 	bits := device.ForgedFrameBits(0, garbage)
-	med := fs.Device().Medium()
+	med := fs.Device().(*device.Device).Medium()
 	for i, b := range bits {
 		med.MWB(i, b)
 	}

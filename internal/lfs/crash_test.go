@@ -51,7 +51,7 @@ type crashRecorder struct {
 	writes []blockWrite
 }
 
-func recordWrites(dev *device.Device) *crashRecorder {
+func recordWrites(dev device.Dev) *crashRecorder {
 	r := &crashRecorder{}
 	dev.SetWriteObserver(func(pba uint64, data []byte) {
 		cp := append([]byte(nil), data...)

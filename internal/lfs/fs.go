@@ -155,7 +155,7 @@ type blockRef struct {
 // reclaimable segments are seconds away.
 type FS struct {
 	mu  sync.RWMutex
-	dev *device.Device
+	dev device.Dev
 	p   Params
 
 	sm   *segmentManager
@@ -347,10 +347,17 @@ type Stats struct {
 	// this never appears in operation latencies — it is the reported
 	// price of the verification hardware.
 	AuditDeviceNS uint64
+	// AuditRepairs counts tamper findings the armed audit repairer
+	// healed in place (see SetAuditRepairer); zero when no repairer is
+	// armed.
+	AuditRepairs uint64
+	// AuditRepairFailures counts findings the armed repairer could not
+	// heal.
+	AuditRepairFailures uint64
 }
 
 // New formats a fresh file system on dev.
-func New(dev *device.Device, p Params) (*FS, error) {
+func New(dev device.Dev, p Params) (*FS, error) {
 	if p.SegmentBlocks <= 0 {
 		p = DefaultParams()
 	}
@@ -477,7 +484,7 @@ func (fs *FS) waitCleanIdleLocked(need int) {
 }
 
 // Device returns the underlying device.
-func (fs *FS) Device() *device.Device { return fs.dev }
+func (fs *FS) Device() device.Dev { return fs.dev }
 
 // Params returns the configuration in effect.
 func (fs *FS) Params() Params { return fs.p }

@@ -306,7 +306,7 @@ func TestHeatFileDetectsTamper(t *testing.T) {
 	bits := device.ForgedFrameBits(target, payload(0xAA, device.DataBytes))
 	base := int(target) * device.DotsPerBlock
 	for i, b := range bits {
-		fs.Device().Medium().MWB(base+i, b)
+		fs.Device().(*device.Device).Medium().MWB(base+i, b)
 	}
 	reps, err := fs.VerifyFile("victim")
 	if err != nil {

@@ -78,7 +78,7 @@ type blockKey struct {
 // summary records where the previous incarnation stopped. A medium
 // whose checkpoint slots are both damaged refuses to mount
 // (ErrTornCheckpoint) rather than coming up empty.
-func Mount(dev *device.Device, p Params) (*FS, error) {
+func Mount(dev device.Dev, p Params) (*FS, error) {
 	fs, err := New(dev, p)
 	if err != nil {
 		return nil, err
@@ -524,7 +524,7 @@ func (r JournalReport) Summary() string {
 // fatal error — serofsck's job is to describe the damage. The
 // double-torn checkpoint region is the exception: with no consistent
 // state to describe, CheckJournal surfaces ErrTornCheckpoint.
-func CheckJournal(dev *device.Device, p Params) (JournalReport, error) {
+func CheckJournal(dev device.Dev, p Params) (JournalReport, error) {
 	fs, err := New(dev, p)
 	if err != nil {
 		return JournalReport{}, err

@@ -72,7 +72,7 @@ func mountFingerprint(fs *FS) string {
 // mountBothWays mounts the same image table-driven and with the
 // full-walk fallback forced, requiring the table mount to actually use
 // the table, and returns both.
-func mountBothWays(t testing.TB, dev *device.Device, p Params) (tab, walk *FS) {
+func mountBothWays(t testing.TB, dev device.Dev, p Params) (tab, walk *FS) {
 	t.Helper()
 	tab, err := Mount(dev, p)
 	if err != nil {
@@ -215,7 +215,7 @@ func TestTableMountDeterministicAcrossConcurrency(t *testing.T) {
 
 // slotImageBytes reads the readable prefix of a checkpoint slot as one
 // byte string.
-func slotImageBytes(dev *device.Device, base uint64, blocks int) []byte {
+func slotImageBytes(dev device.Dev, base uint64, blocks int) []byte {
 	var out []byte
 	for i := 0; i < blocks; i++ {
 		data, err := dev.MRS(base + uint64(i))
@@ -230,7 +230,7 @@ func slotImageBytes(dev *device.Device, base uint64, blocks int) []byte {
 // corruptTableByte locates the newest valid checkpoint slot's liveness
 // table and flips one of its bytes (chosen by pick), rewriting the
 // containing block. Returns false when no table is present to corrupt.
-func corruptTableByte(t testing.TB, dev *device.Device, p Params, pick uint64) bool {
+func corruptTableByte(t testing.TB, dev device.Dev, p Params, pick uint64) bool {
 	t.Helper()
 	probe, err := New(dev, p)
 	if err != nil {

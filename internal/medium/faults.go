@@ -47,3 +47,22 @@ func (m *Medium) CorruptMagnetic(i int) {
 		d.up = !d.up
 	}
 }
+
+// ReplaceRegion swaps factory-fresh dots into [lo, hi): pristine
+// magnetisation, no damage, no defects, zero wear. This is the
+// physical substrate of sled repair — patterned media are manufactured
+// as regular matrices, so a service action can splice in a spare
+// region (or a whole spare sled) where dots were destroyed. Heating is
+// still irreversible on any given dot; replacement swaps the dots
+// themselves, which is exactly as loud as the paper's threat model
+// demands (the old region's evidence is gone *with the old dots*, so
+// honest repair must re-establish the heat records on the new region,
+// and does — see the device's ReplaceLine).
+func (m *Medium) ReplaceRegion(lo, hi int) {
+	if lo < 0 || hi > len(m.dots) || lo > hi {
+		panic(fmt.Sprintf("medium: replace region [%d,%d) outside %d dots", lo, hi, len(m.dots)))
+	}
+	for i := lo; i < hi; i++ {
+		m.dots[i] = dot{}
+	}
+}

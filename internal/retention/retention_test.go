@@ -104,7 +104,7 @@ func TestExpiryAndShred(t *testing.T) {
 	if rep.OK {
 		t.Fatal("shredded record verifies clean")
 	}
-	ok, err := st.Device().IsShredded(m.records["old"].Line.Start)
+	ok, err := st.Device().(*device.Device).IsShredded(m.records["old"].Line.Start)
 	if err != nil || !ok {
 		t.Fatalf("IsShredded %v %v", ok, err)
 	}

@@ -13,9 +13,14 @@ const SchemaV1 = "sero-serving-bench/v1"
 
 // SchemaV2 extends v1 with the per-session latency decomposition
 // (Result.PerSession: own device time vs lock-wait vs queueing).
-// NewReport stamps v2; Validate accepts both and applies the
-// per-session checks only to v2 reports.
 const SchemaV2 = "sero-serving-bench/v2"
+
+// SchemaV3 extends v2 with the striped-array section: member-device
+// count, parity width, degraded flag and the per-device breakdown
+// (Result.Devices/ParityDevices/Degraded/PerDevice). NewReport stamps
+// v3; Validate accepts all three and applies each section's checks
+// only to schemas that carry it.
+const SchemaV3 = "sero-serving-bench/v3"
 
 // Report is the BENCH_serving.json trajectory file: one schema tag and
 // one Result per session count. Everything needed to re-run the
@@ -23,7 +28,8 @@ const SchemaV2 = "sero-serving-bench/v2"
 // seed, and the full FS configuration — is embedded in each run's
 // Config.
 type Report struct {
-	// Schema identifies the report format (SchemaV1 or SchemaV2).
+	// Schema identifies the report format (SchemaV1, SchemaV2 or
+	// SchemaV3).
 	Schema string `json:"schema"`
 	// Bench names the benchmark family ("serving").
 	Bench string `json:"bench"`
@@ -33,7 +39,7 @@ type Report struct {
 
 // NewReport assembles a versioned report from measured runs.
 func NewReport(runs []Result) Report {
-	return Report{Schema: SchemaV2, Bench: "serving", Runs: runs}
+	return Report{Schema: SchemaV3, Bench: "serving", Runs: runs}
 }
 
 // Encode writes the report as indented JSON.
@@ -61,8 +67,8 @@ func DecodeReport(data []byte) (Report, error) {
 // report whose buffered ops silently lost their flush attribution
 // cannot anchor the regression gate.
 func (r Report) Validate() error {
-	if r.Schema != SchemaV1 && r.Schema != SchemaV2 {
-		return fmt.Errorf("serve: schema %q, want %q or %q", r.Schema, SchemaV1, SchemaV2)
+	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 {
+		return fmt.Errorf("serve: schema %q, want %q, %q or %q", r.Schema, SchemaV1, SchemaV2, SchemaV3)
 	}
 	if r.Bench != "serving" {
 		return fmt.Errorf("serve: bench %q, want serving", r.Bench)
@@ -104,7 +110,7 @@ func (r Report) Validate() error {
 		if counted != run.TotalOps {
 			return fmt.Errorf("serve: run %d: per-op counts sum to %d, total says %d", i, counted, run.TotalOps)
 		}
-		if r.Schema == SchemaV2 {
+		if r.Schema == SchemaV2 || r.Schema == SchemaV3 {
 			if len(run.PerSession) != c.Sessions {
 				return fmt.Errorf("serve: run %d: %d per-session entries for %d sessions",
 					i, len(run.PerSession), c.Sessions)
@@ -115,15 +121,81 @@ func (r Report) Validate() error {
 				if ss.TotalNS < 0 || ss.DeviceNS < 0 || ss.LockWaitNS < 0 || ss.QueueNS < 0 {
 					return fmt.Errorf("serve: run %d: session %d has negative latency component", i, ss.Session)
 				}
-				if ss.TotalNS < ss.DeviceNS || ss.TotalNS < ss.LockWaitNS {
-					return fmt.Errorf("serve: run %d: session %d decomposition exceeds total (total=%d device=%d lockwait=%d)",
-						i, ss.Session, ss.TotalNS, ss.DeviceNS, ss.LockWaitNS)
+				// Over a striped array, DeviceNS sums member commands
+				// that ran in parallel in virtual time, so it can
+				// legitimately exceed the shared-clock total — but
+				// never by more than the member count.
+				devBound := ss.TotalNS
+				if c.Devices > 1 {
+					devBound = ss.TotalNS * int64(c.Devices)
+				}
+				if devBound < ss.DeviceNS || ss.TotalNS < ss.LockWaitNS {
+					return fmt.Errorf("serve: run %d: session %d decomposition exceeds total (total=%d device=%d lockwait=%d devices=%d)",
+						i, ss.Session, ss.TotalNS, ss.DeviceNS, ss.LockWaitNS, c.Devices)
 				}
 			}
 			if sessOps != run.TotalOps {
 				return fmt.Errorf("serve: run %d: per-session ops sum to %d, total says %d", i, sessOps, run.TotalOps)
 			}
 		}
+		if r.Schema == SchemaV3 {
+			if err := validateArray(i, run); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateArray checks one v3 run's striped-array section: member
+// count, parity bound, a complete per-device breakdown for striped
+// runs, the slowest-member virtual-time identity, and agreement
+// between the degraded flag and the per-device failure marks.
+func validateArray(i int, run Result) error {
+	if run.Devices < 1 {
+		return fmt.Errorf("serve: run %d: device count %d", i, run.Devices)
+	}
+	if run.ParityDevices < 0 || run.ParityDevices >= run.Devices {
+		return fmt.Errorf("serve: run %d: %d parity members of %d devices", i, run.ParityDevices, run.Devices)
+	}
+	if len(run.PerDevice) == 0 {
+		// The raw-device baseline carries no breakdown — legal only at
+		// width 1, and never degraded.
+		if run.Devices > 1 || run.Degraded {
+			return fmt.Errorf("serve: run %d: %d devices (degraded=%v) without per-device breakdown",
+				i, run.Devices, run.Degraded)
+		}
+		return nil
+	}
+	if len(run.PerDevice) != run.Devices {
+		return fmt.Errorf("serve: run %d: %d per-device entries for %d devices",
+			i, len(run.PerDevice), run.Devices)
+	}
+	failed := 0
+	var maxClock int64
+	for j, ds := range run.PerDevice {
+		if ds.Device != j {
+			return fmt.Errorf("serve: run %d: per-device entry %d labelled device %d", i, j, ds.Device)
+		}
+		if ds.ClockNS < 0 {
+			return fmt.Errorf("serve: run %d: device %d negative clock", i, j)
+		}
+		if ds.ClockNS > maxClock {
+			maxClock = ds.ClockNS
+		}
+		if ds.Failed {
+			failed++
+		}
+	}
+	if maxClock != run.VirtualNS {
+		return fmt.Errorf("serve: run %d: virtual time %d is not the slowest member clock %d (slowest-member contract)",
+			i, run.VirtualNS, maxClock)
+	}
+	if run.Degraded != (failed > 0) {
+		return fmt.Errorf("serve: run %d: degraded flag %v disagrees with %d failed members", i, run.Degraded, failed)
+	}
+	if failed > run.ParityDevices {
+		return fmt.Errorf("serve: run %d: %d failed members exceed %d parity", i, failed, run.ParityDevices)
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"sero/internal/array"
 	"sero/internal/device"
 	"sero/internal/lfs"
 	"sero/internal/medium"
@@ -102,6 +103,23 @@ type Config struct {
 	// behaviour; the op streams are identical either way (only each
 	// create's affinity label changes).
 	AffinityClasses int `json:"affinity_classes"`
+
+	// Devices stripes the run over this many member devices
+	// (internal/array). 0 or 1 keeps the single raw device, the
+	// recorded-trajectory baseline; wider runs keep DeviceBlocks of
+	// *global* capacity by sizing each member at
+	// DeviceBlocks/(Devices-ParityDevices), rounded up to stripe
+	// units.
+	Devices int `json:"devices,omitempty"`
+	// ParityDevices is the Reed–Solomon parity member count
+	// (< Devices); the array serves reads with up to this many
+	// members lost.
+	ParityDevices int `json:"parity_devices,omitempty"`
+	// DegradedDevices fails this many members (the highest-numbered
+	// ones) after the population phase and before the measured
+	// sessions start, so the trajectory records serving under member
+	// loss. Must not exceed ParityDevices.
+	DegradedDevices int `json:"degraded_devices,omitempty"`
 }
 
 // DefaultConfig returns the standard serving configuration at the
@@ -193,6 +211,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HeatFiles < 0 {
 		return c, fmt.Errorf("serve: negative heat-file count %d", c.HeatFiles)
 	}
+	if c.Devices < 0 {
+		return c, fmt.Errorf("serve: negative device count %d", c.Devices)
+	}
+	if c.ParityDevices < 0 || (c.Devices >= 1 && c.ParityDevices >= c.Devices) || (c.Devices == 0 && c.ParityDevices > 0) {
+		return c, fmt.Errorf("serve: %d parity devices with %d devices", c.ParityDevices, c.Devices)
+	}
+	if c.DegradedDevices < 0 || c.DegradedDevices > c.ParityDevices {
+		return c, fmt.Errorf("serve: %d degraded devices exceed %d parity", c.DegradedDevices, c.ParityDevices)
+	}
 	return c, nil
 }
 
@@ -225,9 +252,12 @@ type OpStats struct {
 // acquiring the FS metadata lock, and QueueNS is the remainder —
 // virtual time the shared clock advanced under *other* sessions' ops
 // while this one was mid-flight, i.e. queueing behind their device
-// work. TotalNS = DeviceNS + LockWaitNS + QueueNS (QueueNS is clamped
-// at 0 against rounding, but the three windows are disjoint by
-// construction, so the identity holds exactly).
+// work. Over one device TotalNS = DeviceNS + LockWaitNS + QueueNS
+// (QueueNS is clamped at 0 against rounding, but the three windows are
+// disjoint by construction, so the identity holds exactly). Over a
+// striped array DeviceNS sums member commands that ran in parallel in
+// virtual time, so it can exceed TotalNS — by at most the member
+// count — and the identity becomes an inequality.
 type SessionStats struct {
 	// Session is the session id (shard index).
 	Session int `json:"session"`
@@ -298,6 +328,41 @@ type Result struct {
 	// AuditDeviceNS is the audit's shadow device cost in virtual
 	// nanoseconds — time the sweeps would have cost on-clock.
 	AuditDeviceNS uint64 `json:"audit_device_ns,omitempty"`
+	// AuditRepairs counts tamper findings the armed self-healing
+	// repairer healed from parity (zero in a clean benchmark).
+	AuditRepairs uint64 `json:"audit_repairs,omitempty"`
+	// Devices echoes the member-device count (1 = raw device; absent
+	// in pre-array trajectories, which benchcheck reads as 1).
+	Devices int `json:"devices,omitempty"`
+	// ParityDevices echoes the parity member count.
+	ParityDevices int `json:"parity_devices,omitempty"`
+	// Degraded is true when the run served with members failed.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReads counts reads the array served via parity
+	// reconstruction (zero on a healthy run, as are the two below).
+	DegradedReads uint64 `json:"degraded_reads,omitempty"`
+	// ReconstructedBlocks counts blocks rebuilt from parity.
+	ReconstructedBlocks uint64 `json:"reconstructed_blocks,omitempty"`
+	// ParityBlockWrites counts parity blocks the array flushed.
+	ParityBlockWrites uint64 `json:"parity_block_writes,omitempty"`
+	// PerDevice breaks the run down per member device (absent on a
+	// single raw device).
+	PerDevice []DeviceStats `json:"per_device,omitempty"`
+}
+
+// DeviceStats is one member device's share of an array run.
+type DeviceStats struct {
+	// Device is the member index.
+	Device int `json:"device"`
+	// ClockNS is the member's own virtual timeline; the run's
+	// VirtualNS is the maximum over members (slowest-member contract).
+	ClockNS int64 `json:"clock_ns"`
+	// MagneticReads counts the member's magnetic block reads.
+	MagneticReads uint64 `json:"magnetic_reads"`
+	// MagneticWrites counts the member's magnetic block writes.
+	MagneticWrites uint64 `json:"magnetic_writes"`
+	// Failed is true when the member was failed during the run.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // session is one client's private replay state.
@@ -347,11 +412,34 @@ func RunTraced(cfg Config, tr *trace.Tracer) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	dp := device.DefaultParams(cfg.DeviceBlocks)
-	mp := medium.DefaultParams(cfg.DeviceBlocks, device.DotsPerBlock)
-	mp.ReadNoiseSigma, mp.ResidualInPlaneSignal, mp.ThermalCrosstalk = 0, 0, 0
-	dp.Medium = mp
-	dev := device.New(dp)
+	// Devices == 0 is the recorded-trajectory baseline (one raw
+	// device); Devices == 1 builds a width-1 array, byte-identical to
+	// the baseline by the fourth contract — the serve tests hold the
+	// two trajectories equal.
+	var dev device.Dev
+	var arr *array.Array
+	if cfg.Devices >= 1 {
+		// Keep DeviceBlocks of *global* capacity: each data member
+		// carries its share, rounded up to whole stripe units.
+		d := cfg.Devices - cfg.ParityDevices
+		su := cfg.SegmentBlocks
+		memberBlocks := (cfg.DeviceBlocks + d*su - 1) / (d * su) * su
+		dp := device.DefaultParams(memberBlocks)
+		mp := medium.DefaultParams(memberBlocks, device.DotsPerBlock)
+		mp.ReadNoiseSigma, mp.ResidualInPlaneSignal, mp.ThermalCrosstalk = 0, 0, 0
+		dp.Medium = mp
+		arr, err = array.Build(cfg.Devices, dp, array.Params{StripeBlocks: su, Parity: cfg.ParityDevices})
+		if err != nil {
+			return Result{}, fmt.Errorf("serve: building array: %w", err)
+		}
+		dev = arr
+	} else {
+		dp := device.DefaultParams(cfg.DeviceBlocks)
+		mp := medium.DefaultParams(cfg.DeviceBlocks, device.DotsPerBlock)
+		mp.ReadNoiseSigma, mp.ResidualInPlaneSignal, mp.ThermalCrosstalk = 0, 0, 0
+		dp.Medium = mp
+		dev = device.New(dp)
+	}
 	if tr != nil {
 		dev.SetTracer(tr)
 	}
@@ -370,6 +458,13 @@ func RunTraced(cfg Config, tr *trace.Tracer) (Result, error) {
 		return Result{}, err
 	}
 	defer fs.Close()
+
+	// Self-healing: with parity members and continuous verification
+	// armed, the auditor's tamper findings are repaired in place from
+	// cross-device parity (array.RepairLine).
+	if arr != nil && cfg.ParityDevices > 0 && cfg.AuditEvery > 0 {
+		fs.SetAuditRepairer(arr.RepairLine)
+	}
 
 	// Freeze the heated population before any session starts: identical
 	// work whether or not auditing is armed, so the audit-on/audit-off
@@ -394,6 +489,14 @@ func RunTraced(cfg Config, tr *trace.Tracer) (Result, error) {
 	if cfg.HeatFiles > 0 {
 		if err := fs.Sync(); err != nil {
 			return Result{}, fmt.Errorf("serve: heat population sync: %w", err)
+		}
+	}
+
+	// Fail members only after the heated population exists, so the
+	// degraded run serves (and reconstructs) real data.
+	for i := 0; i < cfg.DegradedDevices; i++ {
+		if err := arr.FailMember(cfg.Devices - 1 - i); err != nil {
+			return Result{}, fmt.Errorf("serve: failing member %d: %w", cfg.Devices-1-i, err)
 		}
 	}
 
@@ -555,5 +658,29 @@ func RunTraced(cfg Config, tr *trace.Tracer) (Result, error) {
 	res.AuditLinesChecked = st.AuditLinesChecked
 	res.AuditFindings = st.AuditFindings
 	res.AuditDeviceNS = st.AuditDeviceNS
+	res.AuditRepairs = st.AuditRepairs
+	res.Devices = cfg.Devices
+	if res.Devices == 0 {
+		res.Devices = 1
+	}
+	if arr != nil {
+		ast := arr.ArrayStats()
+		res.ParityDevices = ast.Parity
+		res.Degraded = cfg.DegradedDevices > 0
+		res.DegradedReads = ast.DegradedReads
+		res.ReconstructedBlocks = ast.ReconstructedBlocks
+		res.ParityBlockWrites = ast.ParityBlockWrites
+		res.PerDevice = make([]DeviceStats, cfg.Devices)
+		for m := 0; m < cfg.Devices; m++ {
+			mst := arr.MemberDevice(m).Stats()
+			res.PerDevice[m] = DeviceStats{
+				Device:         m,
+				ClockNS:        int64(ast.MemberClocks[m]),
+				MagneticReads:  mst.MagneticReads,
+				MagneticWrites: mst.MagneticWrites,
+				Failed:         ast.Failed[m],
+			}
+		}
+	}
 	return res, nil
 }

@@ -197,3 +197,83 @@ func TestSessionSeedsDistinct(t *testing.T) {
 	}
 	_ = workload.DefaultMix(1, 1) // keep the import honest
 }
+
+// TestRunStriped serves over a striped array and checks the width-1
+// equivalence of the trajectory fields plus the degraded path.
+func TestRunStriped(t *testing.T) {
+	base := smallConfig(4)
+	single, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wide := base
+	wide.Devices = 4
+	wide.ParityDevices = 1
+	res, err := Run(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps != single.TotalOps {
+		t.Fatalf("op streams diverged across widths: %d vs %d", res.TotalOps, single.TotalOps)
+	}
+	if res.Devices != 4 || res.ParityDevices != 1 || res.Degraded {
+		t.Fatalf("array fields wrong: %+v", res)
+	}
+	if len(res.PerDevice) != 4 {
+		t.Fatalf("per-device breakdown missing: %+v", res.PerDevice)
+	}
+	if res.ParityBlockWrites == 0 {
+		t.Fatal("no parity writes recorded")
+	}
+	var maxClock int64
+	for _, ds := range res.PerDevice {
+		if ds.ClockNS > maxClock {
+			maxClock = ds.ClockNS
+		}
+		if ds.MagneticWrites == 0 {
+			t.Fatalf("member %d never written", ds.Device)
+		}
+	}
+	if maxClock != res.VirtualNS {
+		t.Fatalf("VirtualNS %d is not the slowest member clock %d", res.VirtualNS, maxClock)
+	}
+
+	deg := wide
+	deg.DegradedDevices = 1
+	dres, err := Run(deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.Degraded || dres.TotalOps != single.TotalOps {
+		t.Fatalf("degraded run wrong: degraded=%v ops=%d", dres.Degraded, dres.TotalOps)
+	}
+	if !dres.PerDevice[3].Failed {
+		t.Fatal("failed member not flagged in per-device stats")
+	}
+}
+
+// TestRunWidth1MatchesRawDevice: a one-member array's trajectory is
+// byte-identical to the raw device's — virtual time included. One
+// session, because multi-session interleaving (and hence cleaning
+// order) is schedule-dependent.
+func TestRunWidth1MatchesRawDevice(t *testing.T) {
+	base := smallConfig(1)
+	raw, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := base
+	w1.Devices = 1
+	arr, err := Run(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.VirtualNS != arr.VirtualNS {
+		t.Fatalf("virtual time diverged: raw %d vs width-1 %d", raw.VirtualNS, arr.VirtualNS)
+	}
+	if raw.TotalOps != arr.TotalOps || raw.BlocksAppended != arr.BlocksAppended ||
+		raw.Checkpoints != arr.Checkpoints || raw.JournalRecords != arr.JournalRecords {
+		t.Fatalf("trajectories diverged: %+v vs %+v", raw, arr)
+	}
+}

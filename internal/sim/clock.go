@@ -42,6 +42,25 @@ func (c *Clock) Advance(d time.Duration) {
 // across benchmark iterations.
 func (c *Clock) Reset() { c.now.Store(0) }
 
+// AdvanceTo raises the clock to t if it is currently behind it; a t at
+// or before the current reading is a no-op. This is the slowest-worker
+// join for composites that keep one clock per member device and expose
+// the maximum as their own time: after an operation fans across
+// members, the composite raises its shared clock to the furthest
+// member clock. The raise is a CAS loop, so concurrent AdvanceTo and
+// Advance calls never move the clock backwards.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
 // Stopwatch measures an interval of virtual time.
 type Stopwatch struct {
 	clock *Clock

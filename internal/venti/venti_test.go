@@ -168,7 +168,7 @@ func TestSnapshotDetectsLeafTamper(t *testing.T) {
 	pba := a.index[victim]
 	bits := device.ForgedFrameBits(pba, []byte("forged content"))
 	base := int(pba) * device.DotsPerBlock
-	med := a.st.Device().Medium()
+	med := a.st.Device().(*device.Device).Medium()
 	for i, b := range bits {
 		med.MWB(base+i, b)
 	}
@@ -190,7 +190,7 @@ func TestVerifySnapshotDetectsAnchorTamper(t *testing.T) {
 	// Forge the anchored root copy inside the heated line.
 	bits := device.ForgedFrameBits(li.Start+1, []byte("bogus root"))
 	base := int(li.Start+1) * device.DotsPerBlock
-	med := a.st.Device().Medium()
+	med := a.st.Device().(*device.Device).Medium()
 	for i, b := range bits {
 		med.MWB(base+i, b)
 	}

@@ -173,6 +173,7 @@ package sero
 import (
 	"time"
 
+	"sero/internal/array"
 	"sero/internal/core"
 	"sero/internal/device"
 	"sero/internal/lfs"
@@ -255,6 +256,80 @@ func Open(o Options) *Device {
 	}
 	p.Medium = mp
 	return &Device{st: core.NewStore(device.New(p))}
+}
+
+// ArrayOptions configures a striped multi-device array behind the
+// same Device facade: one logical block space over Devices simulated
+// sleds with rotated Reed–Solomon parity (internal/array). Blocks is
+// the capacity of EACH member; the logical capacity is
+// Blocks/StripeBlocks × (Devices−ParityDevices) × StripeBlocks.
+type ArrayOptions struct {
+	// Options carries the per-member device knobs. Blocks (required)
+	// is the per-member capacity and must be a multiple of
+	// StripeBlocks.
+	Options
+	// Devices is the member count N (≥ 1). A width-1 array is
+	// byte-identical — layout and virtual time — to Open with the same
+	// Options.
+	Devices int
+	// ParityDevices is the Reed–Solomon parity member count P < N;
+	// the array survives up to P member losses.
+	ParityDevices int
+	// StripeBlocks is the stripe unit (0 = 256, the serving-tier
+	// segment size; set it equal to the FS SegmentBlocks so one
+	// segment maps to one member).
+	StripeBlocks int
+}
+
+// OpenArray creates a striped array of simulated SERO devices behind
+// the ordinary Device facade: every facade call — and any FS built on
+// top with NewFS/MountFS — runs against the composite. Use
+// Device.Array for the array-specific surface (member failure,
+// degraded stats, repair).
+func OpenArray(o ArrayOptions) *Device {
+	if o.Devices < 1 {
+		panic("sero: ArrayOptions.Devices must be at least 1")
+	}
+	if o.Blocks <= 0 {
+		panic("sero: ArrayOptions.Blocks must be positive")
+	}
+	if o.StripeBlocks <= 0 {
+		o.StripeBlocks = 256
+	}
+	p := device.DefaultParams(o.Blocks)
+	if o.ErbRetries > 0 {
+		p.ErbRetries = o.ErbRetries
+	}
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
+	}
+	p.Concurrency = o.Concurrency
+	mp := medium.DefaultParams(o.Blocks, device.DotsPerBlock)
+	if o.Seed != 0 {
+		mp.Seed = o.Seed
+	}
+	if o.Quiet {
+		mp.ReadNoiseSigma = 0
+		mp.ResidualInPlaneSignal = 0
+		mp.ThermalCrosstalk = 0
+	}
+	p.Medium = mp
+	arr, err := array.Build(o.Devices, p, array.Params{
+		StripeBlocks: o.StripeBlocks,
+		Parity:       o.ParityDevices,
+	})
+	if err != nil {
+		panic("sero: " + err.Error())
+	}
+	return &Device{st: core.NewStore(arr)}
+}
+
+// Array exposes the striped composite behind a Device created with
+// OpenArray: member failure/repair, degraded-read statistics and
+// per-member access live there. Returns nil for a single-sled Device.
+func (d *Device) Array() *array.Array {
+	arr, _ := d.st.Device().(*array.Array)
+	return arr
 }
 
 // Blocks returns the device size in blocks.
@@ -427,6 +502,16 @@ func (d *Device) Shred(start uint64) (device.ShredReport, error) {
 // SaveImage serialises the device's complete medium state. Host-side
 // metadata is intentionally excluded: the medium is the evidence.
 func (d *Device) SaveImage() []byte { return d.st.Device().SaveImage() }
+
+// RawDevice exposes the underlying raw sled for adversary
+// demonstrations that write the medium directly. It returns nil when
+// the store sits on a composite (an array of sleds) rather than a
+// single raw device; per-member raw access then goes through the
+// array's MemberDevice.
+func (d *Device) RawDevice() *device.Device {
+	raw, _ := d.st.Device().(*device.Device)
+	return raw
+}
 
 // LoadImage reattaches a device from an image produced by SaveImage.
 // The heated-line registry is rebuilt by scanning the medium, so a

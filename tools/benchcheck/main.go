@@ -7,13 +7,15 @@
 // bench-serve` regenerates the numbers.
 //
 // With -diff it instead compares two trajectory reports — the ROADMAP-
-// named regression diff: runs are matched by session count and every
-// op kind's p50/p99/worst (and throughput) is printed as old → new
-// with the relative change. Both v1 and v2 reports are accepted, and
-// a v1-old vs v2-new pair is fine (the upgrade diff); when both runs
-// carry the v2 per-session section, each session's own-device /
-// lock-wait / queueing decomposition is diffed too. Any other schema
-// is a hard error (exit 1).
+// named regression diff: runs are matched by session count, member-
+// device count and degraded flag, and every op kind's p50/p99/worst
+// (and throughput) is printed as old → new with the relative change.
+// All of v1/v2/v3 are accepted, and mixed-schema pairs are fine (the
+// upgrade diff); when both runs carry the v2 per-session section, each
+// session's own-device / lock-wait / queueing decomposition is diffed
+// too, and when either run carries the v3 array section the per-device
+// clocks, degraded-read and parity-write counters are diffed as well.
+// Any other schema is a hard error (exit 1).
 //
 // Usage:
 //
@@ -76,15 +78,44 @@ func load(path string) (serve.Report, error) {
 	if err != nil {
 		return r, fmt.Errorf("%s: %v", path, err)
 	}
-	if r.Schema != serve.SchemaV1 && r.Schema != serve.SchemaV2 {
-		return r, fmt.Errorf("%s: schema %q, want %q or %q — refusing to diff an unknown schema",
-			path, r.Schema, serve.SchemaV1, serve.SchemaV2)
+	if r.Schema != serve.SchemaV1 && r.Schema != serve.SchemaV2 && r.Schema != serve.SchemaV3 {
+		return r, fmt.Errorf("%s: schema %q, want %q, %q or %q — refusing to diff an unknown schema",
+			path, r.Schema, serve.SchemaV1, serve.SchemaV2, serve.SchemaV3)
 	}
 	return r, nil
 }
 
+// runKey matches runs across the two reports: session count plus the
+// v3 array geometry. Pre-array runs (devices absent) normalise to
+// width 1, so a v1/v2 old report still pairs with the new baseline.
+type runKey struct {
+	sessions int
+	devices  int
+	degraded bool
+}
+
+func keyOf(r serve.Result) runKey {
+	d := r.Devices
+	if d == 0 {
+		d = 1
+	}
+	return runKey{sessions: r.Config.Sessions, devices: d, degraded: r.Degraded}
+}
+
+func (k runKey) String() string {
+	s := fmt.Sprintf("sessions=%d", k.sessions)
+	if k.devices > 1 {
+		s += fmt.Sprintf(" devices=%d", k.devices)
+	}
+	if k.degraded {
+		s += " degraded"
+	}
+	return s
+}
+
 // diff prints the per-kind latency and throughput deltas between two
-// same-schema trajectory reports, matching runs by session count.
+// trajectory reports, matching runs by session count and array
+// geometry.
 func diff(oldPath, newPath string) error {
 	oldRep, err := load(oldPath)
 	if err != nil {
@@ -94,19 +125,20 @@ func diff(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	oldRuns := make(map[int]serve.Result, len(oldRep.Runs))
+	oldRuns := make(map[runKey]serve.Result, len(oldRep.Runs))
 	for _, run := range oldRep.Runs {
-		oldRuns[run.Config.Sessions] = run
+		oldRuns[keyOf(run)] = run
 	}
 	for _, nr := range newRep.Runs {
-		or, ok := oldRuns[nr.Config.Sessions]
+		key := keyOf(nr)
+		or, ok := oldRuns[key]
 		if !ok {
-			fmt.Printf("sessions=%d: only in %s\n", nr.Config.Sessions, newPath)
+			fmt.Printf("%s: only in %s\n", key, newPath)
 			continue
 		}
-		delete(oldRuns, nr.Config.Sessions)
-		fmt.Printf("sessions=%d: throughput %11.0f → %11.0f ops/vsec  %+.1f%%\n",
-			nr.Config.Sessions, or.ThroughputOpsPerSec, nr.ThroughputOpsPerSec,
+		delete(oldRuns, key)
+		fmt.Printf("%s: throughput %11.0f → %11.0f ops/vsec  %+.1f%%\n",
+			key, or.ThroughputOpsPerSec, nr.ThroughputOpsPerSec,
 			pct(or.ThroughputOpsPerSec, nr.ThroughputOpsPerSec))
 		kinds := make([]string, 0, len(nr.PerOp))
 		for k := range nr.PerOp {
@@ -124,16 +156,52 @@ func diff(oldPath, newPath string) error {
 				k, span(ost.P50NS, ns.P50NS), span(ost.P99NS, ns.P99NS), span(ost.WorstNS, ns.WorstNS))
 		}
 		diffSessions(or, nr)
+		diffDevices(or, nr)
 	}
-	sessions := make([]int, 0, len(oldRuns))
-	for s := range oldRuns {
-		sessions = append(sessions, s)
+	keys := make([]runKey, 0, len(oldRuns))
+	for k := range oldRuns {
+		keys = append(keys, k)
 	}
-	sort.Ints(sessions)
-	for _, s := range sessions {
-		fmt.Printf("sessions=%d: only in %s\n", s, oldPath)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sessions != keys[j].sessions {
+			return keys[i].sessions < keys[j].sessions
+		}
+		if keys[i].devices != keys[j].devices {
+			return keys[i].devices < keys[j].devices
+		}
+		return !keys[i].degraded && keys[j].degraded
+	})
+	for _, k := range keys {
+		fmt.Printf("%s: only in %s\n", k, oldPath)
 	}
 	return nil
+}
+
+// diffDevices prints the v3 array-section deltas: the reconstruction
+// and parity-write counters, then each member device's clock and write
+// volume when both runs carry a matching per-device breakdown.
+func diffDevices(or, nr serve.Result) {
+	if len(nr.PerDevice) == 0 && len(or.PerDevice) == 0 {
+		return
+	}
+	fmt.Printf("  array    degraded-reads %d → %d  reconstructed %d → %d  parity-writes %d → %d\n",
+		or.DegradedReads, nr.DegradedReads,
+		or.ReconstructedBlocks, nr.ReconstructedBlocks,
+		or.ParityBlockWrites, nr.ParityBlockWrites)
+	if len(or.PerDevice) != len(nr.PerDevice) {
+		fmt.Printf("  per-device: breakdown width changed (%d → %d members)\n",
+			len(or.PerDevice), len(nr.PerDevice))
+		return
+	}
+	for i, nd := range nr.PerDevice {
+		od := or.PerDevice[i]
+		mark := ""
+		if nd.Failed {
+			mark = "  FAILED"
+		}
+		fmt.Printf("  device %-3d clock %s  writes %d → %d%s\n",
+			nd.Device, span(od.ClockNS, nd.ClockNS), od.MagneticWrites, nd.MagneticWrites, mark)
+	}
 }
 
 // diffSessions prints the per-session latency-decomposition deltas
